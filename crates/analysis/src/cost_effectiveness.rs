@@ -1,0 +1,119 @@
+//! Performance–cost comparisons (§IV's concluding analysis).
+
+use crate::{bandwidth, AnalysisError};
+use mbus_topology::BusNetwork;
+use mbus_workload::RequestMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One network's combined performance / cost / fault-tolerance figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEffectiveness {
+    /// Scheme name.
+    pub scheme: String,
+    /// Effective memory bandwidth.
+    pub bandwidth: f64,
+    /// Number of connections (the paper's cost measure).
+    pub connections: usize,
+    /// Bandwidth per connection — the paper's performance-cost ratio
+    /// (scaled by 1000 in [`CostEffectiveness::ratio_per_kiloconnection`]
+    /// for readability).
+    pub ratio: f64,
+    /// Degree of fault tolerance.
+    pub fault_tolerance: usize,
+}
+
+impl CostEffectiveness {
+    /// Bandwidth per 1000 connections.
+    pub fn ratio_per_kiloconnection(&self) -> f64 {
+        self.ratio * 1000.0
+    }
+}
+
+/// Evaluates bandwidth, cost, and fault tolerance for each network under a
+/// common workload, enabling the paper's §IV cross-scheme comparison.
+///
+/// # Errors
+///
+/// Propagates bandwidth-computation errors.
+pub fn compare(
+    networks: &[BusNetwork],
+    matrix: &RequestMatrix,
+    r: f64,
+) -> Result<Vec<CostEffectiveness>, AnalysisError> {
+    networks
+        .iter()
+        .map(|net| {
+            let bw = bandwidth::memory_bandwidth(net, matrix, r)?;
+            let cost = net.cost();
+            Ok(CostEffectiveness {
+                scheme: net.kind().to_string(),
+                bandwidth: bw,
+                connections: cost.connections,
+                ratio: cost.performance_cost_ratio(bw),
+                fault_tolerance: cost.fault_tolerance_degree,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbus_topology::ConnectionScheme;
+    use mbus_workload::{HierarchicalModel, RequestModel};
+
+    #[test]
+    fn paper_section_four_conclusions() {
+        // N = 16, B = 8, hierarchical r = 1.0.
+        let n = 16;
+        let b = 8;
+        let matrix = HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix();
+        let networks = vec![
+            BusNetwork::new(n, n, b, ConnectionScheme::Full).unwrap(),
+            BusNetwork::new(n, n, b, ConnectionScheme::PartialGroups { groups: 2 }).unwrap(),
+            BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap(),
+            BusNetwork::new(n, n, b, ConnectionScheme::balanced_single(n, b).unwrap()).unwrap(),
+        ];
+        let rows = compare(&networks, &matrix, 1.0).unwrap();
+        let by_name = |name: &str| rows.iter().find(|r| r.scheme.contains(name)).unwrap();
+        let full = by_name("full");
+        let partial = by_name("partial bus network");
+        let single = by_name("single");
+        // "The network with single bus-memory connection is the most
+        // cost-effective…"
+        assert!(single.ratio > partial.ratio);
+        assert!(single.ratio > full.ratio);
+        // "…but it lacks fault tolerance."
+        assert_eq!(single.fault_tolerance, 0);
+        // "The performance of the networks with full bus-memory connection
+        // is higher … but less cost-effective."
+        assert!(full.bandwidth > partial.bandwidth);
+        assert!(full.ratio < partial.ratio);
+        // Partial schemes sit between single and full in cost.
+        assert!(single.connections < partial.connections);
+        assert!(partial.connections < full.connections);
+    }
+
+    #[test]
+    fn kclass_and_partial_are_close() {
+        // §IV: "The memory bandwidths of both networks are also very close"
+        // and the K-class connection cost is "nearly equal" to g = 2.
+        let n = 32;
+        let b = 8;
+        let matrix = HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix();
+        let networks = vec![
+            BusNetwork::new(n, n, b, ConnectionScheme::PartialGroups { groups: 2 }).unwrap(),
+            BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap(),
+        ];
+        let rows = compare(&networks, &matrix, 1.0).unwrap();
+        let rel_bw = (rows[0].bandwidth - rows[1].bandwidth).abs() / rows[0].bandwidth;
+        assert!(rel_bw < 0.05, "bandwidth gap {rel_bw}");
+        let rel_cost = (rows[0].connections as f64 - rows[1].connections as f64).abs()
+            / rows[0].connections as f64;
+        assert!(rel_cost < 0.1, "cost gap {rel_cost}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the analytical models.
+
+use mbus_workload::WorkloadError;
+
+/// Error returned by bandwidth computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The request rate `r` must lie in `[0, 1]`.
+    InvalidRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability input was outside `[0, 1]`.
+    InvalidProbability {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The workload and network disagree on a dimension.
+    DimensionMismatch {
+        /// What disagreed ("processors", "memories", …).
+        what: &'static str,
+        /// The network's count.
+        network: usize,
+        /// The workload's count.
+        workload: usize,
+    },
+    /// An underlying workload computation failed.
+    Workload(WorkloadError),
+    /// The connection scheme is not supported by this analysis (future
+    /// scheme variants).
+    UnsupportedScheme {
+        /// Display name of the scheme.
+        scheme: String,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRate { value } => {
+                write!(f, "request rate r = {value} must lie in [0, 1]")
+            }
+            Self::InvalidProbability { name, value } => {
+                write!(f, "{name} = {value} must lie in [0, 1]")
+            }
+            Self::DimensionMismatch {
+                what,
+                network,
+                workload,
+            } => write!(
+                f,
+                "network has {network} {what} but the workload describes {workload}"
+            ),
+            Self::Workload(err) => write!(f, "workload error: {err}"),
+            Self::UnsupportedScheme { scheme } => {
+                write!(
+                    f,
+                    "connection scheme '{scheme}' is not supported by this analysis"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Workload(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for AnalysisError {
+    fn from(err: WorkloadError) -> Self {
+        Self::Workload(err)
+    }
+}

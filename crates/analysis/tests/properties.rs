@@ -1,0 +1,131 @@
+//! Property-based tests for the closed-form bandwidth equations.
+
+use mbus_analysis::paper::{
+    crossbar_bandwidth, eq12_kclass_bandwidth, eq2_request_probability, eq4_full_bandwidth,
+    eq6_single_bandwidth, eq9_partial_bandwidth, kclass_bandwidth_from_pmfs,
+    uniform_request_probability,
+};
+use mbus_workload::{Fractions, Hierarchy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Equation (4) is bounded by B, by M·X, and is monotone in both B and
+    /// X.
+    #[test]
+    fn eq4_bounds_and_monotonicity(m in 1usize..64, b in 1usize..64, x in 0.0f64..=1.0) {
+        let b = b.min(m);
+        let bw = eq4_full_bandwidth(m, b, x).unwrap();
+        prop_assert!(bw >= -1e-12);
+        prop_assert!(bw <= b as f64 + 1e-9);
+        prop_assert!(bw <= m as f64 * x + 1e-9);
+        if b < m {
+            prop_assert!(eq4_full_bandwidth(m, b + 1, x).unwrap() >= bw - 1e-12);
+        }
+        let x2 = (x + 0.01).min(1.0);
+        prop_assert!(eq4_full_bandwidth(m, b, x2).unwrap() >= bw - 1e-12);
+    }
+
+    /// Equation (6) is bounded by the bus count and by Σ Mᵢ·X.
+    #[test]
+    fn eq6_bounds(per_bus in proptest::collection::vec(1usize..8, 1..8), x in 0.0f64..=1.0) {
+        let bw = eq6_single_bandwidth(&per_bus, x).unwrap();
+        prop_assert!(bw >= -1e-12);
+        prop_assert!(bw <= per_bus.len() as f64 + 1e-9);
+        let total_mem: usize = per_bus.iter().sum();
+        prop_assert!(bw <= total_mem as f64 * x + 1e-9);
+    }
+
+    /// Equation (9): more groups never helps (g-splitting only constrains
+    /// the arbiter), and g = 1 equals eq (4).
+    #[test]
+    fn eq9_group_splitting_penalty(half_m in 1usize..16, half_b in 1usize..16, x in 0.0f64..=1.0) {
+        let m = 2 * half_m;
+        let b = (2 * half_b).min(m);
+        prop_assume!(b % 2 == 0);
+        let grouped = eq9_partial_bandwidth(m, b, 2, x).unwrap();
+        let full = eq9_partial_bandwidth(m, b, 1, x).unwrap();
+        prop_assert!(grouped <= full + 1e-9);
+        prop_assert!((full - eq4_full_bandwidth(m, b, x).unwrap()).abs() < 1e-12);
+    }
+
+    /// Equation (12): bounded by B, monotone in X, and K = 1 equals eq (4).
+    #[test]
+    fn eq12_bounds(sizes in proptest::collection::vec(1usize..6, 1..6), x in 0.0f64..=1.0) {
+        let k = sizes.len();
+        let m: usize = sizes.iter().sum();
+        let b = (k + 2).min(m.max(k));
+        prop_assume!(b >= k);
+        let bw = eq12_kclass_bandwidth(&sizes, b, x).unwrap();
+        prop_assert!(bw >= -1e-12);
+        prop_assert!(bw <= b as f64 + 1e-9);
+        prop_assert!(bw <= m as f64 * x + 1e-9);
+        let x2 = (x + 0.01).min(1.0);
+        prop_assert!(eq12_kclass_bandwidth(&sizes, b, x2).unwrap() >= bw - 1e-12);
+        // One class on all buses = full connection.
+        let single_class = eq12_kclass_bandwidth(&[m], b.min(m), x).unwrap();
+        prop_assert!((single_class - eq4_full_bandwidth(m, b.min(m), x).unwrap()).abs() < 1e-9);
+    }
+
+    /// The generic pmf form of eq (12) is bounded by B for *any* pmfs.
+    #[test]
+    fn eq12_pmf_form_bounded(pmf_sizes in proptest::collection::vec(1usize..5, 1..5),
+                             b_extra in 0usize..4,
+                             seeds in proptest::collection::vec(0.0f64..=1.0, 16)) {
+        let k = pmf_sizes.len();
+        let b = k + b_extra;
+        // Synthesize arbitrary normalized pmfs from the seed pool.
+        let mut cursor = 0usize;
+        let pmfs: Vec<Vec<f64>> = pmf_sizes
+            .iter()
+            .map(|&len| {
+                let mut raw: Vec<f64> = (0..=len)
+                    .map(|_| {
+                        let v = seeds[cursor % seeds.len()] + 0.01;
+                        cursor += 1;
+                        v
+                    })
+                    .collect();
+                let total: f64 = raw.iter().sum();
+                raw.iter_mut().for_each(|v| *v /= total);
+                raw
+            })
+            .collect();
+        let bw = kclass_bandwidth_from_pmfs(&pmfs, b);
+        prop_assert!(bw >= -1e-9);
+        prop_assert!(bw <= b as f64 + 1e-9);
+    }
+
+    /// Equation (2) agrees with the uniform closed form when the fractions
+    /// are uniform, and is monotone in r.
+    #[test]
+    fn eq2_consistency(k1 in 2usize..5, k2 in 2usize..5, r in 0.0f64..0.99) {
+        let h = Hierarchy::paired(&[k1, k2]).unwrap();
+        let n = k1 * k2;
+        let f = Fractions::uniform(&h);
+        let x = eq2_request_probability(&h, &f, r).unwrap();
+        let direct = uniform_request_probability(n, n, r).unwrap();
+        prop_assert!((x - direct).abs() < 1e-12);
+        let x2 = eq2_request_probability(&h, &f, r + 0.01).unwrap();
+        prop_assert!(x2 >= x - 1e-12);
+        // Crossbar bound is linear in X.
+        prop_assert!((crossbar_bandwidth(n, x).unwrap() - n as f64 * x).abs() < 1e-12);
+    }
+
+    /// Locality helps: shifting aggregate share from the remote level to
+    /// the favorite level never decreases X's complement... i.e. lowers
+    /// contention: the crossbar bandwidth (N·X) weakly *increases* with the
+    /// favorite share under full load.
+    #[test]
+    fn favorite_share_lowers_contention(shift in 0.0f64..0.3) {
+        let h = Hierarchy::two_level(16, 4).unwrap();
+        let base = Fractions::from_aggregate_shares(&h, &[0.4, 0.3, 0.3]).unwrap();
+        let shifted =
+            Fractions::from_aggregate_shares(&h, &[0.4 + shift, 0.3, 0.3 - shift]).unwrap();
+        let x_base = eq2_request_probability(&h, &base, 1.0).unwrap();
+        let x_shifted = eq2_request_probability(&h, &shifted, 1.0).unwrap();
+        prop_assert!(x_shifted >= x_base - 1e-12,
+                     "more favorite share concentrates mass: {x_shifted} vs {x_base}");
+    }
+}

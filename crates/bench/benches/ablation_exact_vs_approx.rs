@@ -1,0 +1,52 @@
+//! Ablation: the paper's independence approximation vs the exact models.
+//!
+//! Prints the approximation-error sweep for the full-connection network
+//! under the paper's hierarchical workload (exact via inclusion–exclusion,
+//! feasible at every table size), then measures the relative cost of the
+//! three evaluation layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbus_core::analysis::memory_bandwidth;
+use mbus_core::exact::{compare, distinct, enumerate};
+use mbus_core::paper_params;
+use mbus_core::topology::{BusNetwork, ConnectionScheme};
+use mbus_core::workload::RequestModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    mbus_bench::banner("Approximation error: full connection, hierarchical, r = 1.0");
+    println!("| N | B | approximate (paper) | exact | rel. error |");
+    println!("|---|---|---|---|---|");
+    for n in [8usize, 16, 32] {
+        let model = paper_params::hierarchical(n).expect("paper size");
+        let rows = compare::full_connection_error_sweep(&model, &[n / 4, n / 2, 3 * n / 4, n], 1.0)
+            .expect("sweep");
+        for row in rows {
+            println!(
+                "| {n} | {} | {:.4} | {:.4} | {:+.3}% |",
+                row.buses,
+                row.approximate,
+                row.exact,
+                100.0 * row.relative_error
+            );
+        }
+    }
+    println!("\nError peaks near B = N/2 and vanishes at B = N (E[D] is exact).");
+
+    let model8 = paper_params::hierarchical(8).expect("paper size");
+    let matrix8 = model8.matrix();
+    let net8 = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).expect("valid");
+    c.bench_function("approx_analysis_n8", |b| {
+        b.iter(|| memory_bandwidth(black_box(&net8), black_box(&matrix8), 1.0))
+    });
+    c.bench_function("exact_enumeration_n8", |b| {
+        b.iter(|| enumerate::exact_bandwidth(black_box(&net8), black_box(&matrix8), 1.0))
+    });
+    let model32 = paper_params::hierarchical(32).expect("paper size");
+    c.bench_function("exact_inclusion_exclusion_n32", |b| {
+        b.iter(|| distinct::two_level_distinct_pmf(black_box(&model32), 1.0))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: alias-method vs linear-scan destination sampling.
+//!
+//! The simulator draws one destination per requesting processor per cycle;
+//! this bench quantifies why the workspace uses Walker's alias method
+//! (O(1) per draw) instead of the obvious CDF scan (O(M) per draw).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbus_bench::LinearSampler;
+use mbus_core::paper_params;
+use mbus_core::workload::{AliasSampler, RequestModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    mbus_bench::banner("Sampler ablation: alias vs linear CDF scan");
+    let mut group = c.benchmark_group("sampler");
+    for n in [8usize, 32] {
+        let model = paper_params::hierarchical(n).expect("paper size");
+        let row = model.matrix().row(0).to_vec();
+        let alias = AliasSampler::new(&row).expect("valid weights");
+        let linear = LinearSampler::new(&row);
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(alias.sample(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(linear.sample(&mut rng)))
+        });
+    }
+    group.finish();
+
+    // Statistical equivalence check: both samplers draw the same
+    // distribution (asserted, not benched).
+    let model = paper_params::hierarchical(8).expect("paper size");
+    let row = model.matrix().row(0).to_vec();
+    let alias = AliasSampler::new(&row).expect("valid weights");
+    let linear = LinearSampler::new(&row);
+    let mut rng = StdRng::seed_from_u64(2);
+    let draws = 200_000;
+    let mut counts = [[0u32; 8]; 2];
+    for _ in 0..draws {
+        counts[0][alias.sample(&mut rng)] += 1;
+        counts[1][linear.sample(&mut rng)] += 1;
+    }
+    #[allow(clippy::needless_range_loop)] // j indexes two parallel tallies
+    for j in 0..8 {
+        let a = counts[0][j] as f64 / draws as f64;
+        let l = counts[1][j] as f64 / draws as f64;
+        assert!((a - l).abs() < 0.01, "samplers disagree at {j}: {a} vs {l}");
+    }
+    println!("alias and linear samplers agree on the drawn distribution (200k draws)");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

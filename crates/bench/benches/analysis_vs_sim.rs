@@ -1,0 +1,85 @@
+//! Cross-validation series: analytical vs exact vs simulated bandwidth for
+//! every scheme, plus simulator throughput measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbus_core::paper_params;
+use mbus_core::prelude::*;
+
+fn cross_validation_table() {
+    mbus_bench::banner("Analysis vs exact vs simulation (N = 8, B = 4, hier, r = 1.0)");
+    let n = 8;
+    let b = 4;
+    let model = paper_params::hierarchical(n).expect("paper size");
+    let schemes: Vec<(&str, ConnectionScheme)> = vec![
+        ("full", ConnectionScheme::Full),
+        (
+            "single",
+            ConnectionScheme::balanced_single(n, b).expect("valid"),
+        ),
+        ("partial g=2", ConnectionScheme::PartialGroups { groups: 2 }),
+        (
+            "kclass K=4",
+            ConnectionScheme::uniform_classes(n, b).expect("valid"),
+        ),
+        ("crossbar", ConnectionScheme::Crossbar),
+    ];
+    println!("| scheme | analytic | exact | simulated (95% CI) |");
+    println!("|---|---|---|---|");
+    for (name, scheme) in schemes {
+        let net = BusNetwork::new(n, n, b, scheme).expect("valid");
+        let system = System::new(net, &model, 1.0).expect("valid");
+        let analytic = system.analytic().expect("valid").bandwidth;
+        let exact = system.exact().expect("small system");
+        let sim = system
+            .simulate(&SimConfig::new(100_000).with_warmup(5_000).with_seed(23))
+            .expect("sim runs");
+        assert!(
+            (sim.bandwidth.mean() - exact).abs() < 0.05,
+            "{name}: simulation must track the exact value"
+        );
+        println!(
+            "| {name} | {analytic:.4} | {exact:.4} | {} |",
+            sim.bandwidth
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    cross_validation_table();
+
+    // Simulator throughput per scheme (cycles per iteration = 1000).
+    let n = 16;
+    let b = 8;
+    let model = paper_params::hierarchical(n).expect("paper size");
+    let matrix = model.matrix();
+    let mut group = c.benchmark_group("simulate_1000_cycles");
+    let schemes: Vec<(&str, ConnectionScheme)> = vec![
+        ("full", ConnectionScheme::Full),
+        (
+            "single",
+            ConnectionScheme::balanced_single(n, b).expect("valid"),
+        ),
+        ("partial", ConnectionScheme::PartialGroups { groups: 2 }),
+        (
+            "kclass",
+            ConnectionScheme::uniform_classes(n, b).expect("valid"),
+        ),
+        ("crossbar", ConnectionScheme::Crossbar),
+    ];
+    for (name, scheme) in schemes {
+        let net = BusNetwork::new(n, n, b, scheme).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |bch, net| {
+            let mut sim = Simulator::build(net, &matrix, 1.0).expect("valid");
+            sim.reset(3);
+            bch.iter(|| {
+                for _ in 0..1000 {
+                    sim.step();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Re-draws the paper's Figures 1–4 and measures the renderers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbus_core::tables;
+use mbus_core::topology::{render, BusNetwork, ConnectionScheme};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (caption, art) in tables::figures() {
+        mbus_bench::banner(&caption);
+        println!("{art}");
+    }
+
+    let fig3 = BusNetwork::new(
+        3,
+        6,
+        4,
+        ConnectionScheme::uniform_classes(6, 3).expect("valid"),
+    )
+    .expect("valid");
+    c.bench_function("render_ascii_fig3", |b| {
+        b.iter(|| render::ascii_diagram(black_box(&fig3)))
+    });
+    c.bench_function("render_dot_fig3", |b| {
+        b.iter(|| render::dot_graph(black_box(&fig3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

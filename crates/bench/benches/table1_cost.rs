@@ -1,0 +1,19 @@
+//! Regenerates Table I (cost and fault tolerance) and measures the cost
+//! model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbus_core::report::cost_table_markdown;
+use mbus_core::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    mbus_bench::banner("Table I - cost and fault tolerance (N=16, B=8, g=2, K=8)");
+    print!("{}", cost_table_markdown(&tables::table1(16, 8, 2, 8)));
+
+    c.bench_function("table1_cost_model", |b| {
+        b.iter(|| tables::table1(black_box(16), black_box(8), 2, 8))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

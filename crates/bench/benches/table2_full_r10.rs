@@ -1,0 +1,21 @@
+//! Regenerates Table II - full bus-memory connection, r=1.0 and measures the analytical pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbus_core::tables;
+
+fn bench(c: &mut Criterion) {
+    let table = tables::table2();
+    mbus_bench::banner("Table II - full bus-memory connection, r=1.0");
+    print!("{}", table.to_markdown());
+    println!(
+        "max |computed - paper| over {} legible cells: {:.4}",
+        table.reference_cell_count(),
+        table.max_abs_deviation()
+    );
+    assert!(table.max_abs_deviation() < 0.011, "table must reproduce");
+
+    c.bench_function("regenerate_table2", |b| b.iter(tables::table2));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

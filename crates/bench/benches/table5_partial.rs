@@ -1,0 +1,21 @@
+//! Regenerates Table V - partial bus networks, g=2 and measures the analytical pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbus_core::tables;
+
+fn bench(c: &mut Criterion) {
+    let table = tables::table5();
+    mbus_bench::banner("Table V - partial bus networks, g=2");
+    print!("{}", table.to_markdown());
+    println!(
+        "max |computed - paper| over {} legible cells: {:.4}",
+        table.reference_cell_count(),
+        table.max_abs_deviation()
+    );
+    assert!(table.max_abs_deviation() < 0.011, "table must reproduce");
+
+    c.bench_function("regenerate_table5", |b| b.iter(tables::table5));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

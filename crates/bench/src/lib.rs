@@ -1,0 +1,88 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench in `benches/` regenerates one table or figure of
+//! Chen & Sheu (ICDCS 1988) — printing the same rows/series the paper
+//! reports — and then measures how fast the regeneration (or the underlying
+//! simulation) runs. The ablation benches compare design choices called out
+//! in `DESIGN.md`: exact vs approximate analysis, alias vs linear sampling,
+//! drop vs resubmission semantics, and K-class memory placement.
+
+use rand::Rng;
+
+/// A naive linear-scan CDF sampler — the baseline the alias-method ablation
+/// compares against.
+///
+/// # Examples
+///
+/// ```
+/// use mbus_bench::LinearSampler;
+/// use rand::SeedableRng;
+///
+/// let sampler = LinearSampler::new(&[0.25, 0.25, 0.5]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(sampler.sample(&mut rng) < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSampler {
+    cdf: Vec<f64>,
+}
+
+impl LinearSampler {
+    /// Builds the sampler from (unnormalized) non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are empty or sum to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive mass");
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { cdf }
+    }
+
+    /// Draws one outcome by scanning the CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rand::RngExt::random(rng);
+        self.cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cdf.len() - 1)
+    }
+}
+
+/// Prints a table header line for bench output so the regenerated series
+/// stand out in `cargo bench` logs.
+pub fn banner(title: &str) {
+    println!("\n===== {title} =====\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_sampler_matches_weights() {
+        let sampler = LinearSampler::new(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000)
+            .filter(|_| sampler.sample(&mut rng) == 1)
+            .count();
+        assert!((hits as f64 / 100_000.0 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_mass_rejected() {
+        let _ = LinearSampler::new(&[0.0]);
+    }
+}

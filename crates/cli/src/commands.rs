@@ -1,0 +1,666 @@
+//! Implementations of the `mbus` subcommands.
+
+use crate::args::Args;
+use mbus_core::prelude::*;
+use mbus_core::report::cost_table_markdown;
+use mbus_core::{exact, tables, topology};
+
+/// Builds a connection scheme from `--scheme` and its modifiers.
+fn scheme_from(args: &Args, m: usize, b: usize) -> Result<ConnectionScheme, String> {
+    match args.get("scheme").unwrap_or("full") {
+        "full" => Ok(ConnectionScheme::Full),
+        "crossbar" => Ok(ConnectionScheme::Crossbar),
+        "single" => ConnectionScheme::balanced_single(m, b).map_err(|e| e.to_string()),
+        "partial" => {
+            let groups = args.get_or("groups", 2usize)?;
+            Ok(ConnectionScheme::PartialGroups { groups })
+        }
+        "kclass" => {
+            let classes = args.get_or("classes", b)?;
+            ConnectionScheme::uniform_classes(m, classes).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown scheme '{other}' (expected full|single|partial|kclass|crossbar)"
+        )),
+    }
+}
+
+/// Builds the request matrix from `--workload` and its modifiers.
+fn workload_from(args: &Args, n: usize, m: usize) -> Result<RequestMatrix, String> {
+    match args.get("workload").unwrap_or("hier") {
+        "hier" | "hierarchical" => {
+            let clusters = args.get_or("clusters", 4usize)?;
+            if n != m {
+                return Err("hierarchical workload requires N = M (paired leaves)".into());
+            }
+            let model = HierarchicalModel::two_level_paired(n, clusters, [0.6, 0.3, 0.1])
+                .map_err(|e| e.to_string())?;
+            Ok(model.matrix())
+        }
+        "uniform" => Ok(UniformModel::new(n, m).map_err(|e| e.to_string())?.matrix()),
+        "favorite" => {
+            let alpha = args.get_or("alpha", 0.5f64)?;
+            Ok(FavoriteModel::new(n, m, alpha)
+                .map_err(|e| e.to_string())?
+                .matrix())
+        }
+        other => Err(format!(
+            "unknown workload '{other}' (expected hier|uniform|favorite)"
+        )),
+    }
+}
+
+fn network_from(args: &Args) -> Result<(BusNetwork, RequestMatrix, f64), String> {
+    let n = args.get_or("n", 8usize)?;
+    let m = args.get_or("m", n)?;
+    let b = args.get_or("b", 4usize)?;
+    let rate = args.get_or("rate", 1.0f64)?;
+    let scheme = scheme_from(args, m, b)?;
+    let net = BusNetwork::new(n, m, b, scheme).map_err(|e| e.to_string())?;
+    let matrix = workload_from(args, n, m)?;
+    Ok((net, matrix, rate))
+}
+
+/// `mbus table <id>`.
+pub fn table(args: &Args) -> Result<(), String> {
+    let id = args
+        .positional
+        .first()
+        .ok_or("table needs a number (1-6)")?
+        .as_str();
+    if id == "1" {
+        let n = args.get_or("n", 16usize)?;
+        let b = args.get_or("b", 8usize)?;
+        let g = args.get_or("g", 2usize)?;
+        let k = args.get_or("k", b)?;
+        print!("{}", cost_table_markdown(&tables::table1(n, b, g, k)));
+        return Ok(());
+    }
+    let table = match id {
+        "2" => tables::table2(),
+        "3" => tables::table3(),
+        "4" => tables::table4(),
+        "5" => tables::table5(),
+        "6" => tables::table6(),
+        other => return Err(format!("unknown table '{other}'")),
+    };
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+        println!(
+            "max |computed - paper| over {} legible cells: {:.4}",
+            table.reference_cell_count(),
+            table.max_abs_deviation()
+        );
+    }
+    Ok(())
+}
+
+/// `mbus tables`.
+pub fn tables(args: &Args) -> Result<(), String> {
+    for table in tables::all_bandwidth_tables() {
+        if args.flag("csv") {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.to_markdown());
+        }
+    }
+    Ok(())
+}
+
+/// `mbus figures`.
+pub fn figures() -> Result<(), String> {
+    for (caption, art) in tables::figures() {
+        println!("{caption}\n");
+        println!("{art}");
+    }
+    Ok(())
+}
+
+/// `mbus render`.
+pub fn render(args: &Args) -> Result<(), String> {
+    // Rendering needs only the topology — no workload — so N ≠ M shapes
+    // like the paper's Fig. 3 (3x6x4) work without a workload flag.
+    let n = args.get_or("n", 8usize)?;
+    let m = args.get_or("m", n)?;
+    let b = args.get_or("b", 4usize)?;
+    let scheme = scheme_from(args, m, b)?;
+    let net = BusNetwork::new(n, m, b, scheme).map_err(|e| e.to_string())?;
+    if args.flag("dot") {
+        print!("{}", topology::render::dot_graph(&net));
+    } else {
+        print!("{}", topology::render::ascii_diagram(&net));
+    }
+    Ok(())
+}
+
+/// `mbus ratios`.
+pub fn ratios() -> Result<(), String> {
+    println!("Section IV bus-halving ratios (single connection, N = 32):");
+    println!("MBW(B = N) / MBW(B = N/2)\n");
+    println!("| r | hierarchical | uniform |");
+    println!("|---|---|---|");
+    for (r, hier, unif) in tables::bus_halving_ratios() {
+        println!("| {r} | {hier:.3} | {unif:.3} |");
+    }
+    println!("\nPaper quotes: ~1.6 / ~1.5 at r = 1.0, 1.28 / 1.2 at r = 0.5.");
+    Ok(())
+}
+
+/// `mbus analyze`.
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let (net, matrix, rate) = network_from(args)?;
+    let system = System::from_matrix(net, matrix, rate).map_err(|e| e.to_string())?;
+    let breakdown = system.analytic().map_err(|e| e.to_string())?;
+    println!("network:        {}", system.network());
+    println!("request rate r: {rate}");
+    println!(
+        "offered load:   {:.4} requests/cycle",
+        breakdown.offered_load
+    );
+    println!(
+        "bandwidth:      {:.4} requests/cycle (analytical)",
+        breakdown.bandwidth
+    );
+    println!("acceptance:     {:.4}", breakdown.acceptance);
+    if let Some(busy) = &breakdown.per_bus_busy {
+        let formatted: Vec<String> = busy.iter().map(|p| format!("{p:.3}")).collect();
+        println!("per-bus busy:   [{}]", formatted.join(", "));
+    }
+    match system.exact() {
+        Ok(exact) => {
+            println!("exact:          {exact:.4} requests/cycle");
+            println!(
+                "approx. error:  {:+.3}%",
+                100.0 * (breakdown.bandwidth - exact) / exact
+            );
+        }
+        Err(_) => println!("exact:          (network too large to enumerate)"),
+    }
+    let cost = system.cost();
+    println!("connections:    {}", cost.connections);
+    println!("fault degree:   {}", cost.fault_tolerance_degree);
+    println!(
+        "perf/cost:      {:.4} bandwidth per 1000 connections",
+        1000.0 * breakdown.bandwidth / cost.connections as f64
+    );
+    Ok(())
+}
+
+fn parse_faults(spec: &str, total_cycles: u64) -> Result<mbus_core::sim::FaultSchedule, String> {
+    let mut events = Vec::new();
+    for part in spec.split(',') {
+        let (bus, cycle) = part
+            .split_once('@')
+            .ok_or_else(|| format!("--fail expects bus@cycle, got '{part}'"))?;
+        let bus: usize = bus.parse().map_err(|_| format!("bad bus '{bus}'"))?;
+        let cycle: u64 = cycle.parse().map_err(|_| format!("bad cycle '{cycle}'"))?;
+        if cycle >= total_cycles {
+            return Err(format!(
+                "fault cycle {cycle} beyond run length {total_cycles}"
+            ));
+        }
+        events.push(mbus_core::sim::FaultEvent {
+            cycle,
+            bus,
+            kind: mbus_core::sim::FaultEventKind::Fail,
+        });
+    }
+    mbus_core::sim::FaultSchedule::from_events(events).map_err(|e| e.to_string())
+}
+
+/// `mbus simulate`.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let (net, matrix, rate) = network_from(args)?;
+    let cycles = args.get_or("cycles", 100_000u64)?;
+    let warmup = args.get_or("warmup", cycles / 20)?;
+    let seed = args.get_or("seed", 0u64)?;
+    let replications = args.get_or("replications", 1usize)?;
+    let mut config = SimConfig::new(cycles)
+        .with_warmup(warmup)
+        .with_seed(seed)
+        .with_resubmission(args.flag("resubmission"));
+    if let Some(spec) = args.get("fail") {
+        config = config.with_faults(parse_faults(spec, cycles + warmup)?);
+    }
+    let system = System::from_matrix(net, matrix, rate).map_err(|e| e.to_string())?;
+
+    if replications > 1 {
+        let report = system
+            .simulate_replicated(&config, replications)
+            .map_err(|e| e.to_string())?;
+        println!("replications:  {}", report.replications);
+        println!("bandwidth:     {}", report.bandwidth);
+        println!("acceptance:    {:.4}", report.acceptance);
+    } else {
+        let report = system.simulate(&config).map_err(|e| e.to_string())?;
+        println!(
+            "cycles:        {} (+{} warmup)",
+            report.cycles, report.warmup
+        );
+        println!("bandwidth:     {}", report.bandwidth);
+        println!("offered load:  {:.4}", report.offered_load);
+        println!("acceptance:    {:.4}", report.acceptance);
+        if report.unreachable_rate > 0.0 {
+            println!(
+                "unreachable:   {:.4} requests/cycle",
+                report.unreachable_rate
+            );
+        }
+        let busy: Vec<String> = report
+            .bus_utilization
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect();
+        println!("bus util:      [{}]", busy.join(", "));
+        if args.flag("resubmission") {
+            println!(
+                "mean wait:     {:.4} cycles (max {})",
+                report.mean_wait, report.max_wait
+            );
+        }
+    }
+    let analytic = system.analytic().map_err(|e| e.to_string())?;
+    println!(
+        "analytical:    {:.4} (no-fault reference)",
+        analytic.bandwidth
+    );
+    Ok(())
+}
+
+/// `mbus sweep`: CSV series of bandwidth over bus counts for every scheme.
+pub fn sweep(args: &Args) -> Result<(), String> {
+    let n = args.get_or("n", 16usize)?;
+    let rate = args.get_or("rate", 1.0f64)?;
+    let matrix = workload_from(args, n, n)?;
+    println!("scheme,n,r,buses,bandwidth");
+    let bus_counts: Vec<usize> = (1..=n).collect();
+    /// Builds the scheme to sweep at a given bus count, or `None` to skip.
+    type SchemeAt = Box<dyn Fn(usize) -> Option<ConnectionScheme>>;
+    let schemes: Vec<(&str, SchemeAt)> = vec![
+        ("full", Box::new(|_| Some(ConnectionScheme::Full))),
+        (
+            "single",
+            Box::new(move |b| ConnectionScheme::balanced_single(n, b).ok()),
+        ),
+        (
+            "partial_g2",
+            Box::new(|b| (b % 2 == 0).then_some(ConnectionScheme::PartialGroups { groups: 2 })),
+        ),
+        (
+            "kclass_kb",
+            Box::new(move |b| ConnectionScheme::uniform_classes(n, b).ok()),
+        ),
+        ("crossbar", Box::new(|_| Some(ConnectionScheme::Crossbar))),
+    ];
+    for (name, factory) in schemes {
+        for &b in &bus_counts {
+            let Some(scheme) = factory(b) else { continue };
+            let Ok(net) = BusNetwork::new(n, n, b, scheme) else {
+                continue;
+            };
+            let bw = memory_bandwidth(&net, &matrix, rate).map_err(|e| e.to_string())?;
+            println!("{name},{n},{rate},{b},{bw:.6}");
+        }
+    }
+    Ok(())
+}
+
+/// `mbus validate`.
+pub fn validate(args: &Args) -> Result<(), String> {
+    let n = args.get_or("n", 8usize)?;
+    let cycles = args.get_or("cycles", 200_000u64)?;
+    println!("analysis vs exact vs simulation, N = {n}, hierarchical r = 1.0\n");
+    println!("| scheme | B | analytic | exact | simulated | an-err% | sim-err% |");
+    println!("|---|---|---|---|---|---|---|");
+    let model = mbus_core::paper_params::hierarchical(n).map_err(|e| e.to_string())?;
+    let b = n / 2;
+    let schemes: Vec<(&str, ConnectionScheme)> = vec![
+        ("full", ConnectionScheme::Full),
+        (
+            "single",
+            ConnectionScheme::balanced_single(n, b).map_err(|e| e.to_string())?,
+        ),
+        ("partial g=2", ConnectionScheme::PartialGroups { groups: 2 }),
+        (
+            "kclass K=B",
+            ConnectionScheme::uniform_classes(n, b).map_err(|e| e.to_string())?,
+        ),
+        ("crossbar", ConnectionScheme::Crossbar),
+    ];
+    for (name, scheme) in schemes {
+        let net = BusNetwork::new(n, n, b, scheme).map_err(|e| e.to_string())?;
+        let system = System::new(net, &model, 1.0).map_err(|e| e.to_string())?;
+        let analytic = system.analytic().map_err(|e| e.to_string())?.bandwidth;
+        let exact = system.exact().map_err(|e| e.to_string())?;
+        let sim = system
+            .simulate(
+                &SimConfig::new(cycles)
+                    .with_warmup(cycles / 20)
+                    .with_seed(17),
+            )
+            .map_err(|e| e.to_string())?
+            .bandwidth
+            .mean();
+        println!(
+            "| {name} | {b} | {analytic:.4} | {exact:.4} | {sim:.4} | {:+.2} | {:+.2} |",
+            100.0 * (analytic - exact) / exact,
+            100.0 * (sim - exact) / exact,
+        );
+    }
+    Ok(())
+}
+
+/// `mbus experiments`: the full EXPERIMENTS.md body.
+pub fn experiments() -> Result<(), String> {
+    println!("# EXPERIMENTS — paper vs computed\n");
+    println!(
+        "Every value below is regenerated by this repository \
+         (`mbus experiments`). Computed values come from the analytical \
+         models; paper values are the printed tables. `(–)` marks cells \
+         illegible in the source scan — regenerated but not asserted.\n"
+    );
+    println!("{}", cost_table_markdown(&tables::table1(16, 8, 2, 8)));
+    println!("(Table I instantiated at N = 16, B = 8, g = 2, K = 8.)\n");
+    for table in tables::all_bandwidth_tables() {
+        print!("{}", table.to_markdown());
+        println!(
+            "**Fidelity:** max |computed − paper| over {} legible cells = {:.4} \
+             (print precision is 0.01).\n",
+            table.reference_cell_count(),
+            table.max_abs_deviation()
+        );
+    }
+    println!("## Section IV ratios\n");
+    println!("| quantity | computed | paper |");
+    println!("|---|---|---|");
+    let ratios = tables::bus_halving_ratios();
+    println!(
+        "| halving ratio, hier, r=1.0 | {:.3} | \"almost 1.6\" |",
+        ratios[0].1
+    );
+    println!(
+        "| halving ratio, unif, r=1.0 | {:.3} | \"nearly 1.5\" |",
+        ratios[0].2
+    );
+    println!("| halving ratio, hier, r=0.5 | {:.3} | 1.28 |", ratios[1].1);
+    println!("| halving ratio, unif, r=0.5 | {:.3} | 1.2 |", ratios[1].2);
+
+    println!("\n## Beyond the paper: independence-approximation error\n");
+    println!(
+        "The paper's bus-interference analysis treats per-memory request \
+         indicators as independent. Exact references (enumeration and \
+         inclusion-exclusion) quantify the error:\n"
+    );
+    println!("| scheme (N=8, B=4, hier, r=1) | approximate | exact | rel. error |");
+    println!("|---|---|---|---|");
+    let model = mbus_core::paper_params::hierarchical(8).map_err(|e| e.to_string())?;
+    let report =
+        exact::compare::all_schemes_error_report(8, 4, &model, 1.0).map_err(|e| e.to_string())?;
+    for (scheme, row) in report {
+        println!(
+            "| {scheme} | {:.4} | {:.4} | {:+.2}% |",
+            row.approximate,
+            row.exact,
+            100.0 * row.relative_error
+        );
+    }
+    println!(
+        "\nThe single-connection row peaks near −6%: the balanced placement \
+         aligns whole clusters with buses, which the independence \
+         approximation underestimates."
+    );
+
+    println!("\n## Beyond the paper: single-connection memory placement\n");
+    println!(
+        "Table IV fixes only \"N/B modules per bus\"; the assignment is a \
+         free design choice the paper does not explore. Under hierarchical \
+         traffic it matters (N = 8, B = 4, r = 1):\n"
+    );
+    println!("| placement | eq (6) approximation | exact bandwidth |");
+    println!("|---|---|---|");
+    for (name, row) in
+        exact::compare::single_placement_report(8, 4, &model, 1.0).map_err(|e| e.to_string())?
+    {
+        println!("| {name} | {:.4} | {:.4} |", row.approximate, row.exact);
+    }
+    println!(
+        "\nAligning clusters with buses *helps* (a cluster's 0.9 aggregate \
+         share keeps its bus busy); the paper's formula cannot see the \
+         difference."
+    );
+
+    println!("\n## Beyond the paper: resubmission semantics (exact Markov chain)\n");
+    println!(
+        "Relaxing assumption 5 (blocked requests retry instead of being \
+         dropped), solved exactly for a 3x3x1 full-connection system under \
+         uniform traffic and validated against the simulator:\n"
+    );
+    println!("| r | throughput | mean wait (cycles) |");
+    println!("|---|---|---|");
+    let matrix = mbus_core::workload::UniformModel::new(3, 3)
+        .map_err(|e| e.to_string())?
+        .matrix();
+    let net = BusNetwork::new(3, 3, 1, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+    for r in [0.2, 0.5, 0.8, 1.0] {
+        let ss = exact::markov::resubmission_steady_state(&net, &matrix, r)
+            .map_err(|e| e.to_string())?;
+        println!("| {r} | {:.4} | {:.4} |", ss.throughput, ss.mean_wait);
+    }
+
+    println!("\n## Beyond the paper: NxMxB shared-leaf hierarchy\n");
+    println!(
+        "The paper sketches the N x M x B variant (k_n' favorite memories \
+         per leaf) but only evaluates N x N x B. A 12x8xB sweep with \
+         k = (2,2,3), k3' = 2, shares 0.6/0.3/0.1, r = 1:\n"
+    );
+    println!("| scheme | B=2 | B=4 | B=8 |");
+    println!("|---|---|---|---|");
+    let rows = tables::extension_nm_table();
+    for scheme in ["full", "single", "partial g=2", "kclass K=2"] {
+        let by_b = |b: usize| {
+            rows.iter()
+                .find(|(s, bb, _)| s == scheme && *bb == b)
+                .map(|(_, _, bw)| format!("{bw:.3}"))
+                .unwrap_or_default()
+        };
+        println!("| {scheme} | {} | {} | {} |", by_b(2), by_b(4), by_b(8));
+    }
+    println!(
+        "\nNote the K = 2 row at B = 8: the paper's two-step bus assignment \
+         routes class C_j only downward from bus j+B-K, so with small \
+         classes the low buses are unreachable (here classes of 4 modules \
+         spill at most to bus 4, leaving buses 1-3 permanently idle and \
+         capping service at 5 of 8 buses). This is faithful to equation \
+         (12) — a real limitation of the proposed procedure when K << B."
+    );
+
+    println!("\n## Beyond the paper: locality depth (n-level hierarchies)\n");
+    println!(
+        "The paper defines the model for any n but evaluates only n = 2. \
+         Holding the remote share at 0.1 and deepening the hierarchy of a \
+         16-processor machine (full connection, r = 1):\n"
+    );
+    println!("| workload | B=12 | B=16 (crossbar-like) |");
+    println!("|---|---|---|");
+    let configs: Vec<(&str, RequestMatrix)> = vec![
+        (
+            "uniform",
+            mbus_core::workload::UniformModel::new(16, 16)
+                .map_err(|e| e.to_string())?
+                .matrix(),
+        ),
+        (
+            "2-level k=(4,4), shares .6/.3/.1",
+            mbus_core::paper_params::hierarchical(16)
+                .map_err(|e| e.to_string())?
+                .matrix(),
+        ),
+        ("3-level k=(2,2,4), shares .6/.2/.1/.1", {
+            let h =
+                mbus_core::workload::Hierarchy::paired(&[2, 2, 4]).map_err(|e| e.to_string())?;
+            mbus_core::workload::HierarchicalModel::with_aggregate_shares(h, &[0.6, 0.2, 0.1, 0.1])
+                .map_err(|e| e.to_string())?
+                .matrix()
+        }),
+    ];
+    for (name, matrix) in &configs {
+        let bw = |b: usize| {
+            let net = BusNetwork::new(16, 16, b, ConnectionScheme::Full).expect("valid");
+            memory_bandwidth(&net, matrix, 1.0).expect("valid")
+        };
+        println!("| {name} | {:.3} | {:.3} |", bw(12), bw(16));
+    }
+    println!(
+        "\nWith the favorite share fixed at 0.6 the depth effect is small: \
+         X is dominated by m0, so a third level buys only a second-decimal \
+         improvement. The model's locality benefit comes almost entirely \
+         from the favorite-memory share."
+    );
+
+    println!("\n## Beyond the paper: per-processor fairness of the K-class network\n");
+    println!(
+        "The paper discusses per-class fault tolerance but not its flip \
+         side: under hierarchical traffic a processor's favorite memory \
+         lives in one class, so class connectivity becomes *processor* \
+         throughput (8x8x4, K = 4, hier, r = 1, 200k simulated cycles):\n"
+    );
+    {
+        let n = 8;
+        let b = 4;
+        let matrix = mbus_core::paper_params::hierarchical(n)
+            .map_err(|e| e.to_string())?
+            .matrix();
+        let rows: Vec<(&str, ConnectionScheme)> = vec![
+            ("full", ConnectionScheme::Full),
+            (
+                "kclass K=4",
+                ConnectionScheme::uniform_classes(n, b).map_err(|e| e.to_string())?,
+            ),
+        ];
+        println!("| scheme | Jain fairness | per-processor completions/cycle |");
+        println!("|---|---|---|");
+        for (name, scheme) in rows {
+            let net = BusNetwork::new(n, n, b, scheme).map_err(|e| e.to_string())?;
+            let mut sim = Simulator::build(&net, &matrix, 1.0).map_err(|e| e.to_string())?;
+            let report = sim.run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(41));
+            let rates: Vec<String> = report
+                .processor_service_rates
+                .iter()
+                .map(|x| format!("{x:.2}"))
+                .collect();
+            println!(
+                "| {name} | {:.4} | [{}] |",
+                report.processor_fairness(),
+                rates.join(", ")
+            );
+        }
+    }
+    println!(
+        "\nProcessors whose favorites sit in class C_1 (one bus) complete \
+         ~40% fewer requests than those in class C_4 — the cost of tunable \
+         per-class fault tolerance."
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn scheme_parsing_happy_paths() {
+        let a = args("analyze");
+        assert_eq!(scheme_from(&a, 8, 4).unwrap(), ConnectionScheme::Full);
+        let a = args("analyze --scheme partial --groups 2");
+        assert_eq!(
+            scheme_from(&a, 8, 4).unwrap(),
+            ConnectionScheme::PartialGroups { groups: 2 }
+        );
+        let a = args("analyze --scheme kclass --classes 2");
+        assert!(matches!(
+            scheme_from(&a, 8, 4).unwrap(),
+            ConnectionScheme::KClasses { .. }
+        ));
+        let a = args("analyze --scheme single");
+        assert!(matches!(
+            scheme_from(&a, 8, 4).unwrap(),
+            ConnectionScheme::Single { .. }
+        ));
+        let a = args("analyze --scheme crossbar");
+        assert_eq!(scheme_from(&a, 8, 4).unwrap(), ConnectionScheme::Crossbar);
+    }
+
+    #[test]
+    fn scheme_parsing_errors() {
+        let a = args("analyze --scheme warp-drive");
+        assert!(scheme_from(&a, 8, 4)
+            .unwrap_err()
+            .contains("unknown scheme"));
+        // Single with more buses than memories fails in the builder.
+        let a = args("analyze --scheme single");
+        assert!(scheme_from(&a, 2, 4).is_err());
+    }
+
+    #[test]
+    fn workload_parsing() {
+        let a = args("analyze");
+        let m = workload_from(&a, 8, 8).unwrap();
+        assert!(
+            (m.prob(0, 0) - 0.6).abs() < 1e-12,
+            "defaults to hierarchical"
+        );
+        let a = args("analyze --workload uniform");
+        let m = workload_from(&a, 8, 8).unwrap();
+        assert_eq!(m.prob(0, 0), 0.125);
+        let a = args("analyze --workload favorite --alpha 0.9");
+        let m = workload_from(&a, 8, 8).unwrap();
+        assert_eq!(m.prob(3, 3), 0.9);
+        // Hierarchical requires N = M.
+        let a = args("analyze --workload hier");
+        assert!(workload_from(&a, 8, 4).is_err());
+        let a = args("analyze --workload astrology");
+        assert!(workload_from(&a, 8, 8).is_err());
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        let schedule = parse_faults("2@100,3@200", 1_000).unwrap();
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule.events()[0].bus, 2);
+        assert_eq!(schedule.events()[1].cycle, 200);
+        assert!(parse_faults("2-100", 1_000).is_err());
+        assert!(parse_faults("x@100", 1_000).is_err());
+        assert!(parse_faults("2@100", 50).is_err(), "beyond run length");
+    }
+
+    #[test]
+    fn network_from_round_trip() {
+        let a = args("analyze --n 16 --b 8 --scheme partial --rate 0.5");
+        let (net, matrix, rate) = network_from(&a).unwrap();
+        assert_eq!(net.processors(), 16);
+        assert_eq!(net.buses(), 8);
+        assert_eq!(matrix.processors(), 16);
+        assert_eq!(rate, 0.5);
+    }
+
+    #[test]
+    fn render_supports_n_not_equal_m() {
+        // The paper's Fig. 3 shape must render without a workload flag.
+        assert!(render(&args(
+            "render --scheme kclass --n 3 --m 6 --b 4 --classes 3"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn table_command_validates_id() {
+        assert!(table(&args("table 9")).is_err());
+        assert!(table(&args("table")).is_err());
+    }
+}

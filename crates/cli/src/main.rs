@@ -1,0 +1,73 @@
+//! `mbus` — command-line interface to the multibus workspace.
+//!
+//! Regenerates every table and figure of Chen & Sheu (ICDCS 1988), runs
+//! analytical/exact/simulated evaluations of arbitrary configurations, and
+//! emits the EXPERIMENTS report. Run `mbus help` for usage.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+mbus - multiple bus interconnection networks (Chen & Sheu, ICDCS 1988)
+
+USAGE:
+    mbus <COMMAND> [OPTIONS]
+
+COMMANDS:
+    table <1|2|3|4|5|6>   regenerate a paper table (markdown; --csv for CSV)
+                          table 1 takes --n --b --g --k (default 16 8 2 8)
+    tables                regenerate all bandwidth tables (II-VI)
+    figures               re-draw the paper's Figures 1-4 as ASCII art
+    render                draw one topology: --scheme full|single|partial|
+                          kclass|crossbar --n --b [--groups g] [--classes k]
+                          [--dot]
+    ratios                print the Section IV bus-halving ratios
+    sweep                 CSV bandwidth-vs-B series for all schemes:
+                          --n --rate [--workload ...]
+    analyze               closed-form evaluation: --scheme --n --b --rate
+                          [--workload hier|uniform|favorite] [--clusters c]
+                          [--alpha a] [--groups g] [--classes k]
+    simulate              simulate the same configuration: adds --cycles
+                          --warmup --seed --replications --resubmission
+                          [--fail bus@cycle[,bus@cycle...]]
+    validate              compare analysis vs exact vs simulation on a grid
+    experiments           print the EXPERIMENTS.md report (paper vs computed)
+    help                  show this message
+
+EXAMPLES:
+    mbus table 2
+    mbus analyze --scheme kclass --n 16 --b 8 --rate 0.5
+    mbus simulate --scheme full --n 8 --b 4 --cycles 100000 --fail 2@50000
+    mbus render --scheme kclass --n 3 --m 6 --b 4 --classes 3
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_str() {
+        "table" => commands::table(&args),
+        "tables" => commands::tables(&args),
+        "figures" => commands::figures(),
+        "render" => commands::render(&args),
+        "ratios" => commands::ratios(),
+        "analyze" => commands::analyze(&args),
+        "simulate" => commands::simulate(&args),
+        "sweep" => commands::sweep(&args),
+        "validate" => commands::validate(&args),
+        "experiments" => commands::experiments(),
+        "help" | "" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try 'mbus help'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

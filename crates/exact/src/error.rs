@@ -1,0 +1,68 @@
+//! Error type for the exact models.
+
+use mbus_analysis::AnalysisError;
+use mbus_workload::WorkloadError;
+
+/// Error returned by exact bandwidth computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExactError {
+    /// The exhaustive enumeration would need more states than the configured
+    /// limit allows.
+    TooLarge {
+        /// Number of memories requested.
+        memories: usize,
+        /// Maximum supported by the bitmask enumeration.
+        limit: usize,
+    },
+    /// The network/workload combination is inconsistent.
+    Analysis(AnalysisError),
+    /// The workload itself is invalid.
+    Workload(WorkloadError),
+    /// The requested hierarchy shape is not supported by the closed-form
+    /// inclusion–exclusion (it needs a two-level paired hierarchy whose
+    /// cluster count the group count divides).
+    UnsupportedShape {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooLarge { memories, limit } => write!(
+                f,
+                "exact enumeration supports at most {limit} memories, got {memories} \
+                 (use the inclusion-exclusion models or the simulator instead)"
+            ),
+            Self::Analysis(err) => write!(f, "analysis error: {err}"),
+            Self::Workload(err) => write!(f, "workload error: {err}"),
+            Self::UnsupportedShape { reason } => {
+                write!(f, "unsupported shape for closed-form exact model: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Analysis(err) => Some(err),
+            Self::Workload(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for ExactError {
+    fn from(err: AnalysisError) -> Self {
+        Self::Analysis(err)
+    }
+}
+
+impl From<WorkloadError> for ExactError {
+    fn from(err: WorkloadError) -> Self {
+        Self::Workload(err)
+    }
+}

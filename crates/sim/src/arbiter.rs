@@ -1,0 +1,386 @@
+//! Stage-2 (bus) arbitration, per connection scheme.
+//!
+//! Stage 1 has already collapsed each memory's requester list to a single
+//! winner; stage 2 decides which of those *selected memories* obtain a bus
+//! this cycle. The policies follow §II-A and §III-D of the paper:
+//!
+//! * **full** — a B-of-M arbiter assigns buses round-robin over memory
+//!   modules (a rotating scan pointer guarantees long-run fairness);
+//! * **single** — each bus arbitrates among its own modules with a rotating
+//!   per-bus pointer;
+//! * **partial groups** — an independent B/g-of-M/g arbiter per group;
+//! * **K classes** — the two-step procedure: each class `C_j` selects up to
+//!   `j+B−K` of its requested modules and assigns them to its buses from the
+//!   top down, then each bus resolves cross-class contention by random
+//!   selection;
+//! * **crossbar** — every selected memory is served.
+//!
+//! All policies honor a [`FaultMask`]: failed buses grant nothing, and
+//! memories with no surviving bus cannot be served.
+
+use crate::engine::Grant;
+use mbus_topology::{BusNetwork, ConnectionScheme, FaultMask};
+use rand::{Rng, RngExt};
+
+/// Rotating pointers that give the round-robin arbiters long-run fairness.
+#[derive(Debug, Clone)]
+pub(crate) struct Stage2State {
+    /// Full scheme: scan start over memory indices.
+    rr_memory: usize,
+    /// Full scheme: rotation of the alive-bus list.
+    rr_bus: usize,
+    /// Single scheme: per-bus pointer into that bus's memory list.
+    rr_per_bus: Vec<usize>,
+    /// Partial scheme: per-group scan start (relative to the group).
+    rr_group: Vec<usize>,
+}
+
+impl Stage2State {
+    pub(crate) fn new(net: &BusNetwork) -> Self {
+        let groups = net.group_count().unwrap_or(0);
+        Self {
+            rr_memory: 0,
+            rr_bus: 0,
+            rr_per_bus: vec![0; net.buses()],
+            rr_group: vec![0; groups],
+        }
+    }
+}
+
+/// Runs stage-2 arbitration for one cycle.
+///
+/// `winners[j]` is the stage-1 winning processor for memory `j` (or `None`
+/// if nobody requested `j`). Grants are appended to `out`.
+pub(crate) fn grant_buses<R: Rng + ?Sized>(
+    net: &BusNetwork,
+    mask: &FaultMask,
+    bus_memories: &[Vec<usize>],
+    winners: &[Option<usize>],
+    state: &mut Stage2State,
+    rng: &mut R,
+    out: &mut Vec<Grant>,
+) {
+    match net.scheme() {
+        ConnectionScheme::Crossbar => {
+            for (memory, winner) in winners.iter().enumerate() {
+                if let Some(processor) = *winner {
+                    out.push(Grant {
+                        processor,
+                        memory,
+                        bus: None,
+                    });
+                }
+            }
+        }
+        ConnectionScheme::Full => {
+            let m = net.memories();
+            // Alive buses, rotated for fairness of *which* bus carries which
+            // request (bandwidth-neutral, utilization-relevant).
+            let mut alive: Vec<usize> = mask.iter_alive().collect();
+            if alive.is_empty() {
+                return;
+            }
+            let rot = state.rr_bus % alive.len();
+            alive.rotate_left(rot);
+            let mut granted = 0usize;
+            for offset in 0..m {
+                if granted == alive.len() {
+                    break;
+                }
+                let memory = (state.rr_memory + offset) % m;
+                if let Some(processor) = winners[memory] {
+                    out.push(Grant {
+                        processor,
+                        memory,
+                        bus: Some(alive[granted]),
+                    });
+                    granted += 1;
+                }
+            }
+            state.rr_memory = (state.rr_memory + 1) % m;
+            state.rr_bus = (state.rr_bus + 1) % net.buses();
+        }
+        ConnectionScheme::Single { .. } => {
+            for bus in mask.iter_alive() {
+                let mems = &bus_memories[bus];
+                if mems.is_empty() {
+                    continue;
+                }
+                let start = state.rr_per_bus[bus] % mems.len();
+                for offset in 0..mems.len() {
+                    let idx = (start + offset) % mems.len();
+                    let memory = mems[idx];
+                    if let Some(processor) = winners[memory] {
+                        out.push(Grant {
+                            processor,
+                            memory,
+                            bus: Some(bus),
+                        });
+                        state.rr_per_bus[bus] = (idx + 1) % mems.len();
+                        break;
+                    }
+                }
+            }
+        }
+        ConnectionScheme::PartialGroups { groups } => {
+            let g = *groups;
+            let per_mem = net.memories() / g;
+            let per_bus = net.buses() / g;
+            for q in 0..g {
+                let alive: Vec<usize> = (q * per_bus..(q + 1) * per_bus)
+                    .filter(|&bus| mask.is_alive(bus))
+                    .collect();
+                if alive.is_empty() {
+                    continue;
+                }
+                let mut granted = 0usize;
+                for offset in 0..per_mem {
+                    if granted == alive.len() {
+                        break;
+                    }
+                    let memory = q * per_mem + (state.rr_group[q] + offset) % per_mem;
+                    if let Some(processor) = winners[memory] {
+                        out.push(Grant {
+                            processor,
+                            memory,
+                            bus: Some(alive[granted]),
+                        });
+                        granted += 1;
+                    }
+                }
+                state.rr_group[q] = (state.rr_group[q] + 1) % per_mem;
+            }
+        }
+        ConnectionScheme::KClasses { class_sizes } => {
+            let k = class_sizes.len();
+            // Step 1: per class, select up to cap requested modules and
+            // assign them to the class's alive buses from the top down.
+            // contenders[bus] collects (memory, processor) pairs.
+            let mut contenders: Vec<Vec<(usize, usize)>> = vec![Vec::new(); net.buses()];
+            for c in 0..k {
+                let range = net.memories_of_class(c).expect("validated K-class");
+                let mut requested: Vec<usize> = range.filter(|&j| winners[j].is_some()).collect();
+                if requested.is_empty() {
+                    continue;
+                }
+                let top = net.kclass_bus_count(c); // buses 0..top (exclusive)
+                let alive_desc: Vec<usize> =
+                    (0..top).rev().filter(|&bus| mask.is_alive(bus)).collect();
+                if alive_desc.is_empty() {
+                    continue;
+                }
+                let cap = alive_desc.len().min(requested.len());
+                // Fair selection: random `cap`-subset via partial
+                // Fisher–Yates (the paper leaves the choice unspecified).
+                for i in 0..cap {
+                    let j = rng.random_range(i..requested.len());
+                    requested.swap(i, j);
+                }
+                for (slot, &memory) in requested[..cap].iter().enumerate() {
+                    let bus = alive_desc[slot];
+                    let processor = winners[memory].expect("selected above");
+                    contenders[bus].push((memory, processor));
+                }
+            }
+            // Step 2: each bus arbiter picks one contender at random.
+            for (bus, list) in contenders.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let (memory, processor) = list[rng.random_range(0..list.len())];
+                out.push(Grant {
+                    processor,
+                    memory,
+                    bus: Some(bus),
+                });
+            }
+        }
+        other => unreachable!("unsupported scheme {:?}", other.kind()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bus_memories(net: &BusNetwork) -> Vec<Vec<usize>> {
+        (0..net.buses())
+            .map(|bus| net.memories_of_bus(bus).collect())
+            .collect()
+    }
+
+    fn run(
+        net: &BusNetwork,
+        mask: &FaultMask,
+        winners: &[Option<usize>],
+        state: &mut Stage2State,
+    ) -> Vec<Grant> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        grant_buses(
+            net,
+            mask,
+            &bus_memories(net),
+            winners,
+            state,
+            &mut rng,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn full_grants_up_to_b() {
+        let net = BusNetwork::new(8, 8, 2, ConnectionScheme::Full).unwrap();
+        let mask = FaultMask::none(2);
+        let mut state = Stage2State::new(&net);
+        let winners: Vec<Option<usize>> = (0..8).map(|j| (j % 2 == 0).then_some(j)).collect();
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 2);
+        // Distinct buses.
+        let buses: Vec<_> = grants.iter().map(|g| g.bus.unwrap()).collect();
+        assert_ne!(buses[0], buses[1]);
+    }
+
+    #[test]
+    fn full_round_robin_is_fair_over_cycles() {
+        // Two permanently-contending memories, one bus: alternate service.
+        let net = BusNetwork::new(2, 2, 1, ConnectionScheme::Full).unwrap();
+        let mask = FaultMask::none(1);
+        let mut state = Stage2State::new(&net);
+        let winners = vec![Some(0), Some(1)];
+        let mut served = [0usize; 2];
+        for _ in 0..10 {
+            let grants = run(&net, &mask, &winners, &mut state);
+            assert_eq!(grants.len(), 1);
+            served[grants[0].memory] += 1;
+        }
+        assert_eq!(served, [5, 5]);
+    }
+
+    #[test]
+    fn full_with_failed_buses_grants_fewer() {
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
+        let mask = FaultMask::with_failures(4, &[0, 1, 2]).unwrap();
+        let mut state = Stage2State::new(&net);
+        let winners: Vec<Option<usize>> = (0..8).map(Some).collect();
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].bus, Some(3));
+    }
+
+    #[test]
+    fn single_serves_one_per_busy_bus() {
+        let net =
+            BusNetwork::new(8, 8, 4, ConnectionScheme::balanced_single(8, 4).unwrap()).unwrap();
+        let mask = FaultMask::none(4);
+        let mut state = Stage2State::new(&net);
+        // Memories 0, 1 (bus 0) and 6 (bus 3) requested.
+        let mut winners = vec![None; 8];
+        winners[0] = Some(0);
+        winners[1] = Some(1);
+        winners[6] = Some(6);
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 2);
+        // Per-bus rotation alternates between the two contenders of bus 0.
+        let mut first_served = Vec::new();
+        for _ in 0..4 {
+            let gs = run(&net, &mask, &winners, &mut state);
+            first_served.push(gs.iter().find(|g| g.bus == Some(0)).unwrap().memory);
+        }
+        assert_eq!(first_served, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn single_failed_bus_serves_nothing() {
+        let net =
+            BusNetwork::new(8, 8, 4, ConnectionScheme::balanced_single(8, 4).unwrap()).unwrap();
+        let mask = FaultMask::with_failures(4, &[0]).unwrap();
+        let mut state = Stage2State::new(&net);
+        let mut winners = vec![None; 8];
+        winners[0] = Some(0);
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert!(grants.is_empty());
+    }
+
+    #[test]
+    fn partial_caps_per_group() {
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap();
+        let mask = FaultMask::none(4);
+        let mut state = Stage2State::new(&net);
+        // Three requests in group 0 (cap 2), one in group 1.
+        let mut winners = vec![None; 8];
+        winners[0] = Some(0);
+        winners[1] = Some(1);
+        winners[2] = Some(2);
+        winners[5] = Some(5);
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 3);
+        // Group-0 grants use buses 0/1; group-1 grant uses bus 2 or 3.
+        for g in &grants {
+            if g.memory < 4 {
+                assert!(g.bus.unwrap() < 2);
+            } else {
+                assert!(g.bus.unwrap() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn kclass_spills_down_and_respects_caps() {
+        // Fig. 3-like: 6 memories in 3 classes, 4 buses.
+        let net =
+            BusNetwork::new(6, 6, 4, ConnectionScheme::uniform_classes(6, 3).unwrap()).unwrap();
+        let mask = FaultMask::none(4);
+        let mut state = Stage2State::new(&net);
+        // Everything requested: every bus must be busy (4 grants).
+        let winners: Vec<Option<usize>> = (0..6).map(Some).collect();
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 4);
+        let mut buses: Vec<_> = grants.iter().map(|g| g.bus.unwrap()).collect();
+        buses.sort_unstable();
+        assert_eq!(buses, vec![0, 1, 2, 3]);
+        // Bus 3 can only carry class C_3 memories (4 or 5).
+        let top = grants.iter().find(|g| g.bus == Some(3)).unwrap();
+        assert!(top.memory >= 4);
+    }
+
+    #[test]
+    fn kclass_single_low_class_request_takes_its_top_bus() {
+        let net =
+            BusNetwork::new(6, 6, 4, ConnectionScheme::uniform_classes(6, 3).unwrap()).unwrap();
+        let mask = FaultMask::none(4);
+        let mut state = Stage2State::new(&net);
+        let mut winners = vec![None; 6];
+        winners[2] = Some(2); // class C_2, top bus index 2 (1-based bus 3)
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].bus, Some(2));
+    }
+
+    #[test]
+    fn kclass_failed_top_bus_spills_to_next_alive() {
+        let net =
+            BusNetwork::new(6, 6, 4, ConnectionScheme::uniform_classes(6, 3).unwrap()).unwrap();
+        let mask = FaultMask::with_failures(4, &[2]).unwrap();
+        let mut state = Stage2State::new(&net);
+        let mut winners = vec![None; 6];
+        winners[2] = Some(2); // class C_2: buses {0,1,2}, 2 is dead
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].bus, Some(1));
+    }
+
+    #[test]
+    fn crossbar_serves_everyone() {
+        let net = BusNetwork::new(4, 4, 1, ConnectionScheme::Crossbar).unwrap();
+        let mask = FaultMask::none(1);
+        let mut state = Stage2State::new(&net);
+        let winners: Vec<Option<usize>> = (0..4).map(Some).collect();
+        let grants = run(&net, &mask, &winners, &mut state);
+        assert_eq!(grants.len(), 4);
+        assert!(grants.iter().all(|g| g.bus.is_none()));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for simulator construction.
+
+use mbus_topology::TopologyError;
+use mbus_workload::WorkloadError;
+
+/// Error returned when a simulation is configured inconsistently.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The network and workload disagree on a dimension.
+    DimensionMismatch {
+        /// What disagreed.
+        what: &'static str,
+        /// The network's count.
+        network: usize,
+        /// The workload's count.
+        workload: usize,
+    },
+    /// A fault event referenced an invalid bus or was out of order.
+    BadFaultSchedule {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The underlying workload is invalid.
+    Workload(WorkloadError),
+    /// The underlying topology operation failed.
+    Topology(TopologyError),
+    /// Zero simulated cycles were requested.
+    NoCycles,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionMismatch {
+                what,
+                network,
+                workload,
+            } => write!(
+                f,
+                "network has {network} {what} but the workload describes {workload}"
+            ),
+            Self::BadFaultSchedule { reason } => write!(f, "bad fault schedule: {reason}"),
+            Self::Workload(err) => write!(f, "workload error: {err}"),
+            Self::Topology(err) => write!(f, "topology error: {err}"),
+            Self::NoCycles => write!(f, "simulation must run at least one measured cycle"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Workload(err) => Some(err),
+            Self::Topology(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(err: WorkloadError) -> Self {
+        Self::Workload(err)
+    }
+}
+
+impl From<TopologyError> for SimError {
+    fn from(err: TopologyError) -> Self {
+        Self::Topology(err)
+    }
+}

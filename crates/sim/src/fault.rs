@@ -1,0 +1,148 @@
+//! Scheduled bus failures and repairs.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// What happens to a bus at a scheduled cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// The bus stops carrying traffic.
+    Fail,
+    /// The bus returns to service.
+    Repair,
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle (counting warmup + measured cycles from 0) at whose *start*
+    /// the event takes effect.
+    pub cycle: u64,
+    /// Affected bus.
+    pub bus: usize,
+    /// Failure or repair.
+    pub kind: FaultEventKind,
+}
+
+/// A cycle-ordered schedule of bus failures and repairs.
+///
+/// # Examples
+///
+/// ```
+/// use mbus_sim::{FaultEvent, FaultEventKind, FaultSchedule};
+///
+/// let schedule = FaultSchedule::from_events(vec![
+///     FaultEvent { cycle: 100, bus: 2, kind: FaultEventKind::Fail },
+///     FaultEvent { cycle: 500, bus: 2, kind: FaultEventKind::Repair },
+/// ])?;
+/// assert_eq!(schedule.len(), 2);
+/// # Ok::<(), mbus_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule, sorting events by cycle (stable for ties).
+    ///
+    /// # Errors
+    ///
+    /// Never fails currently, but returns `Result` so bus-range validation
+    /// against a concrete network (done by the engine) shares the same
+    /// error type.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Result<Self, SimError> {
+        events.sort_by_key(|e| e.cycle);
+        Ok(Self { events })
+    }
+
+    /// A single permanent failure of `bus` at `cycle`.
+    pub fn fail_at(cycle: u64, bus: usize) -> Self {
+        Self {
+            events: vec![FaultEvent {
+                cycle,
+                bus,
+                kind: FaultEventKind::Fail,
+            }],
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, cycle-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Validates every referenced bus against a bus count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadFaultSchedule`] if any event references a bus
+    /// `≥ buses`.
+    pub fn validate(&self, buses: usize) -> Result<(), SimError> {
+        for event in &self.events {
+            if event.bus >= buses {
+                return Err(SimError::BadFaultSchedule {
+                    reason: format!(
+                        "event at cycle {} references bus {} but the network has {buses}",
+                        event.cycle, event.bus
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sorted() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent {
+                cycle: 50,
+                bus: 1,
+                kind: FaultEventKind::Repair,
+            },
+            FaultEvent {
+                cycle: 10,
+                bus: 1,
+                kind: FaultEventKind::Fail,
+            },
+        ])
+        .unwrap();
+        assert_eq!(schedule.events()[0].cycle, 10);
+        assert_eq!(schedule.events()[1].cycle, 50);
+    }
+
+    #[test]
+    fn validation_catches_bad_bus() {
+        let schedule = FaultSchedule::fail_at(10, 9);
+        assert!(schedule.validate(4).is_err());
+        assert!(schedule.validate(10).is_ok());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let schedule = FaultSchedule::none();
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.len(), 0);
+        assert!(schedule.validate(1).is_ok());
+    }
+}

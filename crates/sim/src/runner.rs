@@ -1,0 +1,143 @@
+//! Replicated runs across threads, with replication-level confidence
+//! intervals.
+
+use crate::{SimConfig, SimError, SimReport, Simulator};
+use mbus_stats::{student_t_quantile, ConfidenceInterval, Welford};
+use mbus_topology::BusNetwork;
+use mbus_workload::RequestMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results of several independent replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationReport {
+    /// Number of replications run.
+    pub replications: usize,
+    /// Bandwidth confidence interval across replication means (Student-t
+    /// with `replications − 1` degrees of freedom).
+    pub bandwidth: ConfidenceInterval,
+    /// Mean acceptance probability across replications.
+    pub acceptance: f64,
+    /// The individual per-replication reports, seed order.
+    pub reports: Vec<SimReport>,
+}
+
+/// Runs `replications` independent simulations (seeds `base_seed`,
+/// `base_seed + 1`, …) in parallel threads and aggregates the results.
+///
+/// # Errors
+///
+/// * `replications == 0` or zero measured cycles → [`SimError::NoCycles`];
+/// * simulator construction errors are propagated.
+pub fn run_replications(
+    net: &BusNetwork,
+    matrix: &RequestMatrix,
+    r: f64,
+    config: &SimConfig,
+    replications: usize,
+) -> Result<ReplicationReport, SimError> {
+    if replications == 0 || config.cycles == 0 {
+        return Err(SimError::NoCycles);
+    }
+    let prototype = Simulator::build(net, matrix, r)?;
+    config.faults.validate(net.buses())?;
+
+    let reports: Vec<SimReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..replications)
+            .map(|i| {
+                let mut sim = prototype.clone();
+                let mut cfg = config.clone();
+                cfg.seed = config.seed.wrapping_add(i as u64);
+                scope.spawn(move || sim.run(&cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication thread panicked"))
+            .collect()
+    });
+
+    let mut means = Welford::new();
+    let mut acceptance = Welford::new();
+    for report in &reports {
+        means.push(report.bandwidth.mean());
+        acceptance.push(report.acceptance);
+    }
+    let bandwidth = if replications >= 2 {
+        let t = student_t_quantile(replications as u64 - 1, config.confidence_level);
+        ConfidenceInterval::new(
+            means.mean(),
+            t * means.standard_error(),
+            config.confidence_level,
+        )
+    } else {
+        reports[0].bandwidth
+    };
+    Ok(ReplicationReport {
+        replications,
+        bandwidth,
+        acceptance: acceptance.mean(),
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbus_topology::ConnectionScheme;
+    use mbus_workload::{HierarchicalModel, RequestModel};
+
+    #[test]
+    fn replications_agree_with_analysis() {
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
+        let matrix = HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix();
+        let config = SimConfig::new(10_000).with_warmup(500).with_seed(7);
+        let report = run_replications(&net, &matrix, 1.0, &config, 4).unwrap();
+        assert_eq!(report.replications, 4);
+        assert_eq!(report.reports.len(), 4);
+        // Exact value (enumeration) is ≈ 3.99; Table II prints 3.97.
+        assert!(
+            (report.bandwidth.mean() - 3.99).abs() < 0.05,
+            "bandwidth {}",
+            report.bandwidth
+        );
+        // Replications used different seeds → different means.
+        let first = report.reports[0].bandwidth.mean();
+        assert!(report
+            .reports
+            .iter()
+            .skip(1)
+            .any(|r| r.bandwidth.mean() != first));
+    }
+
+    #[test]
+    fn single_replication_falls_back_to_batch_ci() {
+        // B = 4 so the per-cycle service count actually varies (B = 2 would
+        // saturate every cycle and yield a legitimately zero-width CI).
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
+        let matrix = HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix();
+        let config = SimConfig::new(2_000);
+        let report = run_replications(&net, &matrix, 1.0, &config, 1).unwrap();
+        assert_eq!(report.replications, 1);
+        assert!(report.bandwidth.half_width() > 0.0);
+    }
+
+    #[test]
+    fn zero_replications_rejected() {
+        let net = BusNetwork::new(8, 8, 2, ConnectionScheme::Full).unwrap();
+        let matrix = HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix();
+        assert!(matches!(
+            run_replications(&net, &matrix, 1.0, &SimConfig::new(100), 0),
+            Err(SimError::NoCycles)
+        ));
+        assert!(matches!(
+            run_replications(&net, &matrix, 1.0, &SimConfig::new(0), 2),
+            Err(SimError::NoCycles)
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Fine-grained validation of the simulator against the analytical layer:
+//! not just total bandwidth, but *per-bus* utilization vectors and
+//! heterogeneous workloads.
+
+use mbus_analysis::bandwidth::analyze;
+use mbus_sim::{SimConfig, Simulator};
+use mbus_topology::{BusNetwork, ConnectionScheme};
+use mbus_workload::{FavoriteModel, HierarchicalModel, RequestMatrix, RequestModel};
+
+fn hier_matrix(n: usize) -> RequestMatrix {
+    HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+        .unwrap()
+        .matrix()
+}
+
+fn simulate(net: &BusNetwork, matrix: &RequestMatrix, r: f64) -> mbus_sim::SimReport {
+    let mut sim = Simulator::build(net, matrix, r).unwrap();
+    sim.run(
+        &SimConfig::new(300_000)
+            .with_warmup(10_000)
+            .with_seed(2718)
+            .with_batch_len(1_000),
+    )
+}
+
+/// For the single-connection network the analysis emits per-bus busy
+/// probabilities; the simulator's per-bus utilization must match them
+/// (they are only approximate in theory, but at one-to-two modules per bus
+/// the error is tiny).
+#[test]
+fn single_connection_per_bus_utilization() {
+    let n = 8;
+    let matrix = hier_matrix(n);
+    for b in [4usize, 8] {
+        let net =
+            BusNetwork::new(n, n, b, ConnectionScheme::balanced_single(n, b).unwrap()).unwrap();
+        let predicted = analyze(&net, &matrix, 1.0).unwrap().per_bus_busy.unwrap();
+        let report = simulate(&net, &matrix, 1.0);
+        for (bus, (&pred, &meas)) in predicted.iter().zip(&report.bus_utilization).enumerate() {
+            // B = M: formula exact; B = M/2: aligned-placement correlation
+            // makes the true busy probability *higher* than eq (5) by a few
+            // percent.
+            let tol = if b == n { 0.01 } else { 0.08 };
+            assert!(
+                (pred - meas).abs() < tol,
+                "B={b} bus {bus}: predicted {pred}, measured {meas}"
+            );
+        }
+    }
+}
+
+/// The K-class analysis predicts a descending per-bus busy profile
+/// (low-index buses serve more classes); the simulator reproduces the
+/// profile bus by bus.
+#[test]
+fn kclass_per_bus_utilization_profile() {
+    let n = 8;
+    let b = 4;
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+    let matrix = hier_matrix(n);
+    let predicted = analyze(&net, &matrix, 1.0).unwrap().per_bus_busy.unwrap();
+    let report = simulate(&net, &matrix, 1.0);
+    // Both profiles descend from bus 0 to bus B−1.
+    for pair in predicted.windows(2) {
+        assert!(pair[0] >= pair[1] - 1e-9);
+    }
+    for pair in report.bus_utilization.windows(2) {
+        assert!(pair[0] >= pair[1] - 0.01);
+    }
+    // Equation (11) carries the independence approximation; the truth runs
+    // a few points hotter (up to ~6 points on the top class's bus).
+    for (bus, (&pred, &meas)) in predicted.iter().zip(&report.bus_utilization).enumerate() {
+        assert!(
+            (pred - meas).abs() < 0.07,
+            "bus {bus}: predicted {pred}, measured {meas}"
+        );
+        assert!(
+            meas >= pred - 0.02,
+            "bus {bus}: eq (11) should underestimate, not overestimate"
+        );
+    }
+    // The totals agree with the *exact* model tightly.
+    let exact = mbus_exact::enumerate::exact_bandwidth(&net, &matrix, 1.0).unwrap();
+    assert!((report.bandwidth.mean() - exact).abs() < 0.03);
+}
+
+/// Heterogeneous (favorite-memory, N ≠ M) workloads: per-memory service
+/// rates track the per-memory request probabilities qualitatively, and the
+/// total matches the Poisson-binomial analysis within simulation noise.
+#[test]
+fn heterogeneous_workload_end_to_end() {
+    let model = FavoriteModel::new(12, 8, 0.5).unwrap();
+    let matrix = model.matrix();
+    let net = BusNetwork::new(12, 8, 4, ConnectionScheme::Full).unwrap();
+    let breakdown = analyze(&net, &matrix, 0.8).unwrap();
+    let report = simulate(&net, &matrix, 0.8);
+    assert!(
+        (report.bandwidth.mean() - breakdown.bandwidth).abs() < 0.06,
+        "sim {} vs analysis {}",
+        report.bandwidth,
+        breakdown.bandwidth
+    );
+    // Memories 0..4 are favorites of two processors each; 4..8 of one.
+    let hot: f64 = report.memory_service_rates[..4].iter().sum();
+    let cold: f64 = report.memory_service_rates[4..].iter().sum();
+    assert!(hot > cold, "hot {hot} vs cold {cold}");
+}
+
+/// Full-connection bus utilizations are symmetric thanks to the rotating
+/// bus assignment (no bus is preferred in the long run).
+#[test]
+fn full_connection_buses_are_symmetric() {
+    let n = 8;
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::Full).unwrap();
+    let report = simulate(&net, &hier_matrix(n), 0.6);
+    let mean: f64 =
+        report.bus_utilization.iter().sum::<f64>() / report.bus_utilization.len() as f64;
+    for (bus, &u) in report.bus_utilization.iter().enumerate() {
+        assert!(
+            (u - mean).abs() < 0.01,
+            "bus {bus}: {u} vs mean {mean} — rotation should equalize"
+        );
+    }
+}
+
+/// Acceptance probability from the simulator equals bandwidth over offered
+/// load and matches the analysis.
+#[test]
+fn acceptance_probability_consistency() {
+    let n = 8;
+    let matrix = hier_matrix(n);
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::Full).unwrap();
+    for r in [0.3, 0.7, 1.0] {
+        let breakdown = analyze(&net, &matrix, r).unwrap();
+        let report = simulate(&net, &matrix, r);
+        // Against the exact reference the match is tight…
+        let exact = mbus_exact::enumerate::exact_bandwidth(&net, &matrix, r).unwrap();
+        let exact_acceptance = exact / (8.0 * r);
+        assert!(
+            (report.acceptance - exact_acceptance).abs() < 0.01,
+            "r={r}: sim {} vs exact {exact_acceptance}",
+            report.acceptance,
+        );
+        // …while the analysis sits within its known few-percent bias.
+        assert!(
+            (report.acceptance - breakdown.acceptance).abs() < 0.04,
+            "r={r}: sim {} vs analysis {}",
+            report.acceptance,
+            breakdown.acceptance
+        );
+        assert!((report.acceptance - report.bandwidth.mean() / report.offered_load).abs() < 1e-9);
+    }
+}

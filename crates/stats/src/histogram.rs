@@ -1,0 +1,264 @@
+//! Exact histograms over small non-negative integer outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact frequency histogram over non-negative integer values.
+///
+/// The simulator uses this to record per-cycle counts such as "number of
+/// requests served" or "number of busy buses" — quantities bounded by the bus
+/// count `B`, so dense storage is ideal.
+///
+/// # Examples
+///
+/// ```
+/// use mbus_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 1, 2, 2, 2, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 7);
+/// assert_eq!(h.frequency(2), 3);
+/// assert_eq!(h.mode(), Some(2));
+/// assert_eq!(h.quantile(0.5), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a histogram pre-sized for values up to `max_value` (an
+    /// optimization only; larger values still work).
+    pub fn with_max_value(max_value: usize) -> Self {
+        Self {
+            counts: vec![0; max_value + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` observations of `value` at once.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += n;
+        self.total += n;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of times `value` was recorded.
+    pub fn frequency(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of `value` (0 when the histogram is empty).
+    pub fn probability(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.frequency(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of the recorded values; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        weighted / self.total as f64
+    }
+
+    /// Population variance of the recorded values; `0.0` when empty.
+    pub fn variance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| (v as f64 - mean).powi(2) * c as f64)
+            .sum();
+        ss / self.total as f64
+    }
+
+    /// Most frequent value (smallest in case of ties); `None` when empty.
+    pub fn mode(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then(vb.cmp(va)))
+            .map(|(v, _)| v)
+    }
+
+    /// Largest recorded value; `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) under the empirical CDF, i.e. the
+    /// smallest value `v` with `P(X ≤ v) ≥ q`. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let threshold = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= threshold {
+                return Some(v);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Iterates over `(value, frequency)` pairs with nonzero frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Empirical pmf as a dense vector indexed by value.
+    pub fn to_pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let hi = self.max_value().unwrap_or(0);
+        (0..=hi).map(|v| self.probability(v)).collect()
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record_n(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max_value(), None);
+        assert!(h.to_pmf().is_empty());
+    }
+
+    #[test]
+    fn frequencies_and_probability() {
+        let mut h = Histogram::with_max_value(4);
+        h.record(0);
+        h.record(4);
+        h.record(4);
+        h.record(7); // beyond pre-sized range: must grow
+        assert_eq!(h.frequency(4), 2);
+        assert_eq!(h.frequency(7), 1);
+        assert_eq!(h.frequency(100), 0);
+        assert!((h.probability(4) - 0.5).abs() < 1e-12);
+        assert_eq!(h.max_value(), Some(7));
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.variance(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_order() {
+        let mut h = Histogram::new();
+        for v in [5, 1, 3, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.2), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.8), Some(5));
+        assert_eq!(h.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn mode_prefers_smallest_on_tie() {
+        let mut h = Histogram::new();
+        for v in [2, 2, 5, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.mode(), Some(2));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record_n(1, 2);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.frequency(1), 3);
+        assert_eq!(a.frequency(3), 1);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let mut h = Histogram::new();
+        for v in [0, 2, 2, 6] {
+            h.record(v);
+        }
+        let pmf = h.to_pmf();
+        assert_eq!(pmf.len(), 7);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

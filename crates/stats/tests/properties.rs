@@ -1,0 +1,145 @@
+//! Property-based tests for the statistics substrate.
+
+use mbus_stats::prob::{binomial_pmf, choose, choose_f64, Binomial, PoissonBinomial};
+use mbus_stats::{normal_quantile, student_t_quantile, BatchMeans, Histogram, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford matches the two-pass formulas for any data.
+    #[test]
+    fn welford_matches_two_pass(data in proptest::collection::vec(-1e6f64..1e6, 2..64)) {
+        let acc: Welford = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((acc.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((acc.sample_variance() - var).abs() / scale.powi(2) < 1e-6);
+        prop_assert_eq!(acc.min().unwrap(), data.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(acc.max().unwrap(), data.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging any split of a data set equals accumulating it whole.
+    #[test]
+    fn welford_merge_associative(data in proptest::collection::vec(-1e3f64..1e3, 1..40),
+                                 split in 0usize..40) {
+        let split = split.min(data.len());
+        let mut left: Welford = data[..split].iter().copied().collect();
+        let right: Welford = data[split..].iter().copied().collect();
+        left.merge(&right);
+        let whole: Welford = data.iter().copied().collect();
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+    }
+
+    /// Batch means always reports the same grand mean as plain Welford, and
+    /// its CI always contains that mean.
+    #[test]
+    fn batch_means_consistency(data in proptest::collection::vec(-100f64..100.0, 4..200),
+                               batch_len in 1u64..20) {
+        let mut bm = BatchMeans::new(batch_len);
+        let mut plain = Welford::new();
+        for &x in &data {
+            bm.push(x);
+            plain.push(x);
+        }
+        prop_assert!((bm.mean() - plain.mean()).abs() < 1e-9);
+        if let Some(ci) = bm.confidence_interval(0.95) {
+            prop_assert!(ci.contains(ci.mean()));
+            prop_assert!(ci.half_width() >= 0.0);
+        }
+    }
+
+    /// Binomial pmfs sum to one and match the recursive definition.
+    #[test]
+    fn binomial_pmf_properties(n in 0u64..80, p in 0.0f64..=1.0) {
+        let bin = Binomial::new(n, p);
+        let total: f64 = bin.to_pmf_vec().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((bin.mean() - n as f64 * p).abs() < 1e-9);
+        // E[min(X, b)] increases with b and is capped by the mean.
+        let mut prev = 0.0;
+        for b in 0..=n {
+            let v = bin.expected_min_with(b);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!(v <= bin.mean() + 1e-12);
+            prev = v;
+        }
+    }
+
+    /// Poisson-binomial equals the convolution of its Bernoullis computed
+    /// the slow way.
+    #[test]
+    fn poisson_binomial_matches_naive(probs in proptest::collection::vec(0.0f64..=1.0, 0..10)) {
+        let pb = PoissonBinomial::new(&probs).unwrap();
+        // Naive convolution.
+        let mut naive = vec![1.0f64];
+        for &p in &probs {
+            let mut next = vec![0.0; naive.len() + 1];
+            for (k, &q) in naive.iter().enumerate() {
+                next[k] += q * (1.0 - p);
+                next[k + 1] += q * p;
+            }
+            naive = next;
+        }
+        for (k, &expected) in naive.iter().enumerate() {
+            prop_assert!((pb.pmf(k) - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Binomial coefficients: symmetry and f64 agreement.
+    #[test]
+    fn choose_symmetry(n in 0u64..64, k in 0u64..64) {
+        if k <= n {
+            prop_assert_eq!(choose(n, k), choose(n, n - k));
+            let exact = choose(n, k).unwrap() as f64;
+            prop_assert!((choose_f64(n, k) - exact).abs() <= exact * 1e-12);
+        } else {
+            prop_assert_eq!(choose(n, k), Some(0));
+            prop_assert_eq!(choose_f64(n, k), 0.0);
+        }
+    }
+
+    /// pmf via `binomial_pmf` is always within [0, 1].
+    #[test]
+    fn pmf_in_unit_interval(n in 0u64..200, k in 0u64..220, p in 0.0f64..=1.0) {
+        let v = binomial_pmf(n, k, p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+    }
+
+    /// Histogram quantiles are consistent with sorting.
+    #[test]
+    fn histogram_quantiles(values in proptest::collection::vec(0usize..30, 1..60),
+                           q in 0.0f64..=1.0) {
+        let mut h = Histogram::new();
+        let mut sorted = values.clone();
+        for &v in &values {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        let expected = {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        prop_assert_eq!(h.quantile(q).unwrap(), expected);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// The normal quantile is the inverse of a monotone CDF: strictly
+    /// increasing in p.
+    #[test]
+    fn normal_quantile_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assume!(hi - lo > 1e-9);
+        prop_assert!(normal_quantile(lo) < normal_quantile(hi));
+    }
+
+    /// Student-t quantiles dominate the normal quantile at every df.
+    #[test]
+    fn t_dominates_normal(df in 1u64..200, level in 0.5f64..0.999) {
+        let t = student_t_quantile(df, level);
+        let z = normal_quantile(0.5 + level / 2.0);
+        prop_assert!(t >= z - 5e-3, "t {t} < z {z} at df={df}");
+    }
+}

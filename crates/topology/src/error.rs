@@ -1,0 +1,139 @@
+//! Error type for topology construction and validation.
+
+/// Error returned when an `N × M × B` network description is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// One of `N`, `M`, `B` was zero.
+    ZeroDimension {
+        /// Which dimension was zero: `"processors"`, `"memories"`, or
+        /// `"buses"`.
+        dimension: &'static str,
+    },
+    /// The paper requires `B ≤ min(M, N)`.
+    TooManyBuses {
+        /// Requested number of buses.
+        buses: usize,
+        /// `min(M, N)` for the network.
+        limit: usize,
+    },
+    /// A partial bus network needs `g` to divide both `M` and `B`.
+    GroupsDontDivide {
+        /// Number of groups `g`.
+        groups: usize,
+        /// Number of memories `M`.
+        memories: usize,
+        /// Number of buses `B`.
+        buses: usize,
+    },
+    /// `g` must be at least one and at most `B`.
+    InvalidGroupCount {
+        /// Number of groups `g`.
+        groups: usize,
+        /// Number of buses `B`.
+        buses: usize,
+    },
+    /// A K-class network needs `1 ≤ K ≤ B`.
+    InvalidClassCount {
+        /// Number of classes `K`.
+        classes: usize,
+        /// Number of buses `B`.
+        buses: usize,
+    },
+    /// Class sizes must sum to `M` and every class must be non-empty.
+    BadClassSizes {
+        /// Sum of the provided class sizes.
+        total: usize,
+        /// Number of memories `M`.
+        memories: usize,
+    },
+    /// A single-connection assignment must map every memory to a valid bus.
+    BadSingleAssignment {
+        /// Length of the provided assignment vector.
+        assigned: usize,
+        /// Number of memories `M`.
+        memories: usize,
+    },
+    /// A single-connection assignment referenced a bus index `≥ B`.
+    SingleAssignmentBusOutOfRange {
+        /// The memory whose assignment is invalid.
+        memory: usize,
+        /// The out-of-range bus index.
+        bus: usize,
+        /// Number of buses `B`.
+        buses: usize,
+    },
+    /// Every bus in a single-connection network must serve at least one
+    /// memory (otherwise the network is a smaller network in disguise).
+    EmptyBus {
+        /// The bus with no attached memory.
+        bus: usize,
+    },
+    /// An index (bus/memory/processor) was out of range for the network.
+    IndexOutOfRange {
+        /// What kind of index: `"bus"`, `"memory"`, or `"processor"`.
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroDimension { dimension } => {
+                write!(f, "number of {dimension} must be positive")
+            }
+            Self::TooManyBuses { buses, limit } => write!(
+                f,
+                "B = {buses} exceeds min(M, N) = {limit}; the paper requires B <= min(M, N)"
+            ),
+            Self::GroupsDontDivide {
+                groups,
+                memories,
+                buses,
+            } => write!(
+                f,
+                "g = {groups} must divide both M = {memories} and B = {buses}"
+            ),
+            Self::InvalidGroupCount { groups, buses } => {
+                write!(
+                    f,
+                    "group count g = {groups} must satisfy 1 <= g <= B = {buses}"
+                )
+            }
+            Self::InvalidClassCount { classes, buses } => {
+                write!(
+                    f,
+                    "class count K = {classes} must satisfy 1 <= K <= B = {buses}"
+                )
+            }
+            Self::BadClassSizes { total, memories } => write!(
+                f,
+                "class sizes sum to {total} but the network has M = {memories} memories \
+                 (all classes must be non-empty)"
+            ),
+            Self::BadSingleAssignment { assigned, memories } => write!(
+                f,
+                "single-connection assignment covers {assigned} memories, expected {memories}"
+            ),
+            Self::SingleAssignmentBusOutOfRange { memory, bus, buses } => write!(
+                f,
+                "memory {memory} is assigned to bus {bus}, but the network has only {buses} buses"
+            ),
+            Self::EmptyBus { bus } => {
+                write!(
+                    f,
+                    "bus {bus} has no memory attached in a single-connection network"
+                )
+            }
+            Self::IndexOutOfRange { kind, index, len } => {
+                write!(f, "{kind} index {index} out of range (network has {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

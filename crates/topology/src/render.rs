@@ -1,0 +1,198 @@
+//! Renderers regenerating the paper's Figures 1–4.
+//!
+//! The paper's four figures are wiring diagrams of the connection schemes.
+//! [`ascii_diagram`] draws the same diagrams as fixed-width text (processors
+//! across the top, horizontal bus lines, memories across the bottom, `●` at
+//! each connection), and [`dot_graph`] emits a Graphviz bipartite graph for
+//! higher-fidelity rendering.
+
+use crate::BusNetwork;
+
+/// Renders the network as a fixed-width ASCII wiring diagram in the style of
+/// the paper's Figures 1–4.
+///
+/// # Examples
+///
+/// ```
+/// use mbus_topology::{render, BusNetwork, ConnectionScheme};
+///
+/// let net = BusNetwork::new(3, 6, 4, ConnectionScheme::uniform_classes(6, 3)?)?;
+/// let art = render::ascii_diagram(&net);
+/// assert!(art.contains("P1"));
+/// assert!(art.contains("bus 4"));
+/// # Ok::<(), mbus_topology::TopologyError>(())
+/// ```
+pub fn ascii_diagram(net: &BusNetwork) -> String {
+    let n = net.processors();
+    let m = net.memories();
+    let b = net.buses();
+    // One column of width CELL per device; processors and memories share the
+    // horizontal scale so the diagram reads like the paper's figures.
+    const CELL: usize = 6;
+    let devices = n.max(m);
+    let width = devices * CELL;
+    let mut out = String::new();
+
+    out.push_str(&format!("{net}\n"));
+
+    // Processor row (labels are 1-based like the paper).
+    let mut proc_row = String::new();
+    for p in 0..n {
+        proc_row.push_str(&format!("{:^CELL$}", format!("P{}", p + 1)));
+    }
+    out.push_str(proc_row.trim_end());
+    out.push('\n');
+
+    // Vertical taps from every processor down to the first bus.
+    let mut taps = vec![b' '; width];
+    for p in 0..n {
+        taps[p * CELL + CELL / 2] = b'|';
+    }
+    out.push_str(String::from_utf8(taps).expect("ascii").trim_end());
+    out.push('\n');
+
+    // One horizontal line per bus. Processors tap every bus ('+'), memories
+    // tap only their connected buses ('*').
+    for bus in 0..b {
+        let mut line = vec![b'-'; width];
+        for p in 0..n {
+            line[p * CELL + CELL / 2] = b'+';
+        }
+        for mem in 0..m {
+            if net.connects(bus, mem) {
+                line[mem * CELL + CELL / 2] = b'*';
+            }
+        }
+        let mut text = String::from_utf8(line).expect("ascii");
+        text.push_str(&format!("  bus {}", bus + 1));
+        out.push_str(&text);
+        out.push('\n');
+    }
+
+    // Vertical drops from the lowest connected bus to each memory.
+    let mut drops = vec![b' '; width];
+    for mem in 0..m {
+        drops[mem * CELL + CELL / 2] = b'|';
+    }
+    out.push_str(String::from_utf8(drops).expect("ascii").trim_end());
+    out.push('\n');
+
+    // Memory row.
+    let mut mem_row = String::new();
+    for j in 0..m {
+        mem_row.push_str(&format!("{:^CELL$}", format!("MM{}", j + 1)));
+    }
+    out.push_str(mem_row.trim_end());
+    out.push('\n');
+    out
+}
+
+/// Emits the network as a Graphviz DOT bipartite graph: processors, buses,
+/// and memories as ranked node rows, with an edge per connection.
+///
+/// # Examples
+///
+/// ```
+/// use mbus_topology::{render, BusNetwork, ConnectionScheme};
+///
+/// let net = BusNetwork::new(2, 2, 2, ConnectionScheme::Full)?;
+/// let dot = render::dot_graph(&net);
+/// assert!(dot.starts_with("graph multibus"));
+/// assert!(dot.contains("b1 -- m1")); // node ids are 0-based
+/// # Ok::<(), mbus_topology::TopologyError>(())
+/// ```
+pub fn dot_graph(net: &BusNetwork) -> String {
+    let mut out = String::from("graph multibus {\n");
+    out.push_str("  rankdir=TB;\n");
+    out.push_str(&format!("  label=\"{net}\";\n  node [shape=box];\n"));
+    out.push_str("  { rank=source;");
+    for p in 0..net.processors() {
+        out.push_str(&format!(" p{p} [label=\"P{}\"];", p + 1));
+    }
+    out.push_str(" }\n");
+    out.push_str("  { rank=same; node [shape=plaintext];");
+    for bus in 0..net.buses() {
+        out.push_str(&format!(" b{bus} [label=\"bus {}\"];", bus + 1));
+    }
+    out.push_str(" }\n");
+    out.push_str("  { rank=sink;");
+    for mem in 0..net.memories() {
+        out.push_str(&format!(" m{mem} [label=\"MM{}\"];", mem + 1));
+    }
+    out.push_str(" }\n");
+    for p in 0..net.processors() {
+        for bus in 0..net.buses() {
+            out.push_str(&format!("  p{p} -- b{bus};\n"));
+        }
+    }
+    for bus in 0..net.buses() {
+        for mem in net.memories_of_bus(bus) {
+            out.push_str(&format!("  b{bus} -- m{mem};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConnectionScheme;
+
+    fn lines_of(art: &str) -> Vec<&str> {
+        art.lines().collect()
+    }
+
+    #[test]
+    fn figure1_full_connection_marks_everything() {
+        // Fig. 1 shape: full connection.
+        let net = BusNetwork::new(4, 4, 2, ConnectionScheme::Full).unwrap();
+        let art = ascii_diagram(&net);
+        let lines = lines_of(&art);
+        // Header + processors + taps + 2 bus lines + drops + memories.
+        assert_eq!(lines.len(), 7);
+        for bus_line in &lines[3..5] {
+            // Shared columns: '+' overwritten by '*' where a memory also
+            // taps; with N = M every tap column shows '*'.
+            assert_eq!(bus_line.matches('*').count(), 4);
+            assert!(bus_line.contains("bus"));
+        }
+    }
+
+    #[test]
+    fn figure4_single_connection_marks_one_bus_per_memory() {
+        let net =
+            BusNetwork::new(4, 4, 2, ConnectionScheme::balanced_single(4, 2).unwrap()).unwrap();
+        let art = ascii_diagram(&net);
+        let lines = lines_of(&art);
+        // Each bus line carries exactly its own two memories.
+        assert_eq!(lines[3].matches('*').count(), 2);
+        assert_eq!(lines[4].matches('*').count(), 2);
+    }
+
+    #[test]
+    fn figure3_kclass_memory_marks_grow_with_class() {
+        let net =
+            BusNetwork::new(3, 6, 4, ConnectionScheme::uniform_classes(6, 3).unwrap()).unwrap();
+        let art = ascii_diagram(&net);
+        let lines = lines_of(&art);
+        // Bus 1 (index 0) connects all six memories; bus 4 only class C_3's
+        // two.
+        assert_eq!(lines[3].matches('*').count(), 6);
+        assert_eq!(lines[6].matches('*').count(), 2);
+    }
+
+    #[test]
+    fn dot_graph_edge_counts() {
+        let net =
+            BusNetwork::new(3, 6, 4, ConnectionScheme::uniform_classes(6, 3).unwrap()).unwrap();
+        let dot = dot_graph(&net);
+        let processor_edges = dot.matches(" -- b").count();
+        // Every processor to every bus…
+        assert_eq!(processor_edges, 3 * 4);
+        // …and one edge per bus-memory connection: 2+3+4 per class pair.
+        let memory_edges = dot.matches(" -- m").count();
+        assert_eq!(memory_edges, 2 * (2 + 3 + 4));
+        assert!(dot.ends_with("}\n"));
+    }
+}

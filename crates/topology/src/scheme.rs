@@ -1,0 +1,263 @@
+//! Bus–memory connection schemes.
+
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// How memory modules attach to buses in an `N × M × B` network.
+///
+/// Processors are always connected to all buses (all four multiple-bus
+/// schemes in the paper share this); the scheme only governs the
+/// memory side. [`ConnectionScheme::Crossbar`] is the contention-free
+/// baseline the paper compares against (its "N × N crossbar" rows).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ConnectionScheme {
+    /// Full bus–memory connection: every memory on every bus (paper Fig. 1).
+    Full,
+    /// Single bus–memory connection (paper Fig. 4): `assignment[j]` is the
+    /// one bus memory `j` attaches to.
+    Single {
+        /// Bus index for each memory module (length `M`).
+        assignment: Vec<usize>,
+    },
+    /// Lang et al.'s partial bus network (paper Fig. 2): memories and buses
+    /// split into `g` equal groups; memory group `q` attaches to bus group
+    /// `q` (buses `q·B/g … (q+1)·B/g − 1`, memories `q·M/g … (q+1)·M/g − 1`).
+    PartialGroups {
+        /// Number of groups `g` (must divide `M` and `B`).
+        groups: usize,
+    },
+    /// The paper's proposed partial bus network with `K` classes (§II-A,
+    /// Fig. 3): memories of class `C_j` (1-based `j`) attach to buses
+    /// `1 … j + B − K` (1-based). `class_sizes[c]` is the number of memories
+    /// in class `C_{c+1}`; memories are numbered class by class, lowest
+    /// class first.
+    KClasses {
+        /// Memories per class, lowest class (`C_1`) first; must sum to `M`.
+        class_sizes: Vec<usize>,
+    },
+    /// An `N × M` crossbar: every processor reaches every memory through a
+    /// dedicated crosspoint; there is no bus contention. Used as the
+    /// upper-bound baseline.
+    Crossbar,
+}
+
+/// Discriminant-only view of a [`ConnectionScheme`], handy for dispatch
+/// tables and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Full bus–memory connection.
+    Full,
+    /// Single bus–memory connection.
+    Single,
+    /// Partial bus network with `g` groups.
+    PartialGroups,
+    /// Partial bus network with `K` classes.
+    KClasses,
+    /// Crossbar baseline.
+    Crossbar,
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::Full => "full bus-memory connection",
+            Self::Single => "single bus-memory connection",
+            Self::PartialGroups => "partial bus network",
+            Self::KClasses => "partial bus network with K classes",
+            Self::Crossbar => "crossbar",
+        };
+        f.write_str(name)
+    }
+}
+
+impl ConnectionScheme {
+    /// A single-connection scheme distributing `m` memories over `b` buses as
+    /// evenly as possible, matching the paper's Table IV setting where "each
+    /// bus is connected by N/B memory modules".
+    ///
+    /// Memories are dealt out in contiguous runs: bus `i` gets memories
+    /// `⌈m·i/b⌉ … ⌈m·(i+1)/b⌉ − 1`. When `b` divides `m`, each bus gets
+    /// exactly `m/b` memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ZeroDimension`] if `m == 0` or `b == 0`, and
+    /// [`TopologyError::TooManyBuses`] if `b > m` (some bus would be empty).
+    pub fn balanced_single(m: usize, b: usize) -> Result<Self, TopologyError> {
+        if m == 0 {
+            return Err(TopologyError::ZeroDimension {
+                dimension: "memories",
+            });
+        }
+        if b == 0 {
+            return Err(TopologyError::ZeroDimension { dimension: "buses" });
+        }
+        if b > m {
+            return Err(TopologyError::TooManyBuses { buses: b, limit: m });
+        }
+        let mut assignment = Vec::with_capacity(m);
+        for bus in 0..b {
+            let start = (m * bus).div_ceil(b);
+            let end = (m * (bus + 1)).div_ceil(b);
+            assignment.extend(std::iter::repeat_n(bus, end - start));
+        }
+        debug_assert_eq!(assignment.len(), m);
+        Ok(Self::Single { assignment })
+    }
+
+    /// A single-connection scheme assigning memory `j` to bus `j mod b` —
+    /// the *strided* placement, which scatters neighbouring memories over
+    /// different buses.
+    ///
+    /// Under clustered (hierarchical) traffic this placement decorrelates
+    /// the requests arriving at one bus, whereas
+    /// [`ConnectionScheme::balanced_single`]'s contiguous runs align whole
+    /// clusters with single buses. The placement-sensitivity experiments in
+    /// `EXPERIMENTS.md` compare the two.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConnectionScheme::balanced_single`].
+    pub fn strided_single(m: usize, b: usize) -> Result<Self, TopologyError> {
+        if m == 0 {
+            return Err(TopologyError::ZeroDimension {
+                dimension: "memories",
+            });
+        }
+        if b == 0 {
+            return Err(TopologyError::ZeroDimension { dimension: "buses" });
+        }
+        if b > m {
+            return Err(TopologyError::TooManyBuses { buses: b, limit: m });
+        }
+        Ok(Self::Single {
+            assignment: (0..m).map(|j| j % b).collect(),
+        })
+    }
+
+    /// A K-class scheme with `m` memories split as evenly as possible into
+    /// `k` classes, matching the paper's Table VI setting (`K = B`, each
+    /// class `N/K` memories).
+    ///
+    /// When `k` does not divide `m`, earlier (lower) classes get the extra
+    /// memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ZeroDimension`] for zero inputs and
+    /// [`TopologyError::BadClassSizes`] if `k > m` (a class would be empty).
+    pub fn uniform_classes(m: usize, k: usize) -> Result<Self, TopologyError> {
+        if m == 0 {
+            return Err(TopologyError::ZeroDimension {
+                dimension: "memories",
+            });
+        }
+        if k == 0 {
+            return Err(TopologyError::ZeroDimension { dimension: "buses" });
+        }
+        if k > m {
+            return Err(TopologyError::BadClassSizes {
+                total: k,
+                memories: m,
+            });
+        }
+        let base = m / k;
+        let extra = m % k;
+        let class_sizes = (0..k).map(|c| base + usize::from(c < extra)).collect();
+        Ok(Self::KClasses { class_sizes })
+    }
+
+    /// The discriminant-only kind of this scheme.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            Self::Full => SchemeKind::Full,
+            Self::Single { .. } => SchemeKind::Single,
+            Self::PartialGroups { .. } => SchemeKind::PartialGroups,
+            Self::KClasses { .. } => SchemeKind::KClasses,
+            Self::Crossbar => SchemeKind::Crossbar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_single_divisible() {
+        let ConnectionScheme::Single { assignment } =
+            ConnectionScheme::balanced_single(8, 4).unwrap()
+        else {
+            panic!("expected single scheme");
+        };
+        assert_eq!(assignment, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn balanced_single_uneven() {
+        let ConnectionScheme::Single { assignment } =
+            ConnectionScheme::balanced_single(7, 3).unwrap()
+        else {
+            panic!("expected single scheme");
+        };
+        assert_eq!(assignment.len(), 7);
+        // No bus may be empty, and loads differ by at most one.
+        let mut loads = [0usize; 3];
+        for &b in &assignment {
+            loads[b] += 1;
+        }
+        assert!(loads.iter().all(|&l| l > 0));
+        assert!(loads.iter().max().unwrap() - loads.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn balanced_single_rejects_more_buses_than_memories() {
+        assert_eq!(
+            ConnectionScheme::balanced_single(2, 3).unwrap_err(),
+            TopologyError::TooManyBuses { buses: 3, limit: 2 }
+        );
+    }
+
+    #[test]
+    fn strided_single_interleaves() {
+        let ConnectionScheme::Single { assignment } =
+            ConnectionScheme::strided_single(8, 4).unwrap()
+        else {
+            panic!("expected single scheme");
+        };
+        assert_eq!(assignment, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Validation mirrors balanced_single.
+        assert!(ConnectionScheme::strided_single(2, 3).is_err());
+        assert!(ConnectionScheme::strided_single(0, 1).is_err());
+    }
+
+    #[test]
+    fn uniform_classes_divisible() {
+        let ConnectionScheme::KClasses { class_sizes } =
+            ConnectionScheme::uniform_classes(8, 4).unwrap()
+        else {
+            panic!("expected k-class scheme");
+        };
+        assert_eq!(class_sizes, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn uniform_classes_uneven_front_loads() {
+        let ConnectionScheme::KClasses { class_sizes } =
+            ConnectionScheme::uniform_classes(7, 3).unwrap()
+        else {
+            panic!("expected k-class scheme");
+        };
+        assert_eq!(class_sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(
+            ConnectionScheme::Full.kind().to_string(),
+            "full bus-memory connection"
+        );
+        assert_eq!(ConnectionScheme::Crossbar.kind(), SchemeKind::Crossbar);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for network topologies.
+
+use mbus_topology::{BusNetwork, ConnectionScheme, DegradedView, FaultMask};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary valid networks up to 16 memories.
+fn arbitrary_network() -> impl Strategy<Value = BusNetwork> {
+    (1usize..=16, 1usize..=16).prop_flat_map(|(n, m)| {
+        (Just(n), Just(m), 1usize..=m).prop_flat_map(|(n, m, b)| {
+            prop_oneof![
+                Just(ConnectionScheme::Full),
+                Just(ConnectionScheme::Crossbar),
+                Just(ConnectionScheme::balanced_single(m, b).unwrap()),
+                Just(ConnectionScheme::strided_single(m, b).unwrap()),
+                (1usize..=b).prop_filter_map("g must divide m and b", move |g| {
+                    (m % g == 0 && b % g == 0)
+                        .then_some(ConnectionScheme::PartialGroups { groups: g })
+                }),
+                (1usize..=b.min(m))
+                    .prop_map(move |k| { ConnectionScheme::uniform_classes(m, k).unwrap() }),
+            ]
+            .prop_map(move |scheme| BusNetwork::new(n, m, b, scheme).unwrap())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `connects` is the consistent primitive: `buses_of_memory` and
+    /// `memories_of_bus` are exactly its fibers.
+    #[test]
+    fn connectivity_views_agree(net in arbitrary_network()) {
+        for memory in 0..net.memories() {
+            let buses: Vec<usize> = net.buses_of_memory(memory).collect();
+            for bus in 0..net.buses() {
+                prop_assert_eq!(buses.contains(&bus), net.connects(bus, memory));
+            }
+        }
+        for bus in 0..net.buses() {
+            for memory in net.memories_of_bus(bus) {
+                prop_assert!(net.connects(bus, memory));
+            }
+        }
+    }
+
+    /// Every memory touches at least one bus; fault-tolerance degree is
+    /// the minimum connectivity minus one for every non-crossbar scheme.
+    #[test]
+    fn fault_tolerance_degree_is_min_connectivity(net in arbitrary_network()) {
+        if net.kind() == mbus_topology::SchemeKind::Crossbar {
+            return Ok(());
+        }
+        let min_conn = (0..net.memories())
+            .map(|j| net.buses_of_memory(j).count())
+            .min()
+            .unwrap();
+        prop_assert!(min_conn >= 1);
+        // For grouped schemes the degree formula also equals min
+        // connectivity − 1 (each memory's group/class has exactly that
+        // many buses).
+        prop_assert_eq!(net.fault_tolerance_degree(), min_conn - 1);
+    }
+
+    /// Connection counts: processor side is always B·N; memory side is the
+    /// sum of per-memory bus degrees.
+    #[test]
+    fn connection_count_decomposes(net in arbitrary_network()) {
+        if net.kind() == mbus_topology::SchemeKind::Crossbar {
+            prop_assert_eq!(net.cost().connections, net.processors() * net.memories());
+            return Ok(());
+        }
+        let memory_side: usize = (0..net.memories())
+            .map(|j| net.buses_of_memory(j).count())
+            .sum();
+        prop_assert_eq!(
+            net.cost().connections,
+            net.buses() * net.processors() + memory_side
+        );
+    }
+
+    /// Failing every bus a memory touches makes it inaccessible; failing
+    /// any other set keeps it reachable.
+    #[test]
+    fn degraded_reachability_is_exact(net in arbitrary_network(), memory_pick in any::<prop::sample::Index>()) {
+        if net.kind() == mbus_topology::SchemeKind::Crossbar {
+            return Ok(());
+        }
+        let memory = memory_pick.index(net.memories());
+        let its_buses: Vec<usize> = net.buses_of_memory(memory).collect();
+        let mask = FaultMask::with_failures(net.buses(), &its_buses).unwrap();
+        let view = DegradedView::new(&net, &mask).unwrap();
+        prop_assert!(!view.is_memory_accessible(memory));
+        // Failing everything *except* one of its buses keeps it reachable.
+        let keep = its_buses[0];
+        let others: Vec<usize> = (0..net.buses()).filter(|&b| b != keep).collect();
+        let mask = FaultMask::with_failures(net.buses(), &others).unwrap();
+        let view = DegradedView::new(&net, &mask).unwrap();
+        prop_assert!(view.is_memory_accessible(memory));
+    }
+
+    /// Rendering never panics and scales with the network.
+    #[test]
+    fn renderers_total(net in arbitrary_network()) {
+        let art = mbus_topology::render::ascii_diagram(&net);
+        prop_assert!(art.lines().count() >= net.buses() + 4);
+        let dot = mbus_topology::render::dot_graph(&net);
+        prop_assert!(dot.starts_with("graph multibus"));
+        let closes = dot.ends_with("}\n");
+        prop_assert!(closes);
+        // One edge per bus-memory connection.
+        let memory_side: usize = (0..net.buses())
+            .map(|bus| net.memories_of_bus(bus).count())
+            .sum();
+        prop_assert_eq!(dot.matches(" -- m").count(), memory_side);
+    }
+}

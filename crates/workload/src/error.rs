@@ -1,0 +1,144 @@
+//! Error type for workload construction and validation.
+
+/// Error returned when a request model is described inconsistently.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A hierarchy needs at least one level, and every `kᵢ ≥ 1` with the
+    /// total processor count at least 1.
+    EmptyHierarchy,
+    /// A hierarchy branching factor was zero.
+    ZeroBranchingFactor {
+        /// The level (1-based, like the paper's `k₁ … kₙ`) with `kᵢ = 0`.
+        level: usize,
+    },
+    /// The requested processor count cannot be factored into the requested
+    /// number of clusters.
+    IndivisibleClusters {
+        /// Total number of processors `N`.
+        processors: usize,
+        /// Requested first-level cluster count `k₁`.
+        clusters: usize,
+    },
+    /// The fraction vector has the wrong number of levels for the hierarchy.
+    FractionCountMismatch {
+        /// Fractions provided.
+        got: usize,
+        /// Fractions required (`n + 1` for paired leaves, `n` for shared).
+        expected: usize,
+    },
+    /// A fraction was negative or non-finite.
+    InvalidFraction {
+        /// Index `i` of the offending `mᵢ`.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The fractions do not satisfy the paper's normalization
+    /// `Σ mᵢ·Nᵢ = 1`.
+    NotNormalized {
+        /// The actual sum `Σ mᵢ·Nᵢ`.
+        sum: f64,
+    },
+    /// Aggregate shares must sum to 1 (each share is then split uniformly
+    /// over its level's memories).
+    SharesNotNormalized {
+        /// The actual sum of the provided shares.
+        sum: f64,
+    },
+    /// A probability parameter (e.g. the favorite-memory weight `α` or the
+    /// request rate `r`) was outside `[0, 1]`.
+    InvalidProbability {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A request matrix row does not sum to 1.
+    RowNotStochastic {
+        /// The processor whose row is invalid.
+        processor: usize,
+        /// The row sum found.
+        sum: f64,
+    },
+    /// A matrix entry was negative or non-finite.
+    InvalidMatrixEntry {
+        /// Row (processor).
+        processor: usize,
+        /// Column (memory).
+        memory: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A dimension (processors/memories/tasks) was zero.
+    ZeroDimension {
+        /// Which dimension was zero.
+        dimension: &'static str,
+    },
+    /// An index was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyHierarchy => write!(f, "hierarchy must have at least one level"),
+            Self::ZeroBranchingFactor { level } => {
+                write!(f, "hierarchy branching factor k_{level} must be positive")
+            }
+            Self::IndivisibleClusters {
+                processors,
+                clusters,
+            } => write!(
+                f,
+                "{processors} processors cannot be split into {clusters} equal clusters"
+            ),
+            Self::FractionCountMismatch { got, expected } => write!(
+                f,
+                "fraction vector has {got} entries, hierarchy requires {expected}"
+            ),
+            Self::InvalidFraction { index, value } => {
+                write!(
+                    f,
+                    "fraction m_{index} = {value} must be finite and non-negative"
+                )
+            }
+            Self::NotNormalized { sum } => {
+                write!(f, "fractions must satisfy sum_i m_i*N_i = 1, got {sum}")
+            }
+            Self::SharesNotNormalized { sum } => {
+                write!(f, "aggregate level shares must sum to 1, got {sum}")
+            }
+            Self::InvalidProbability { name, value } => {
+                write!(f, "{name} = {value} must lie in [0, 1]")
+            }
+            Self::RowNotStochastic { processor, sum } => write!(
+                f,
+                "request probabilities of processor {processor} sum to {sum}, expected 1"
+            ),
+            Self::InvalidMatrixEntry {
+                processor,
+                memory,
+                value,
+            } => write!(
+                f,
+                "request probability ({processor}, {memory}) = {value} is invalid"
+            ),
+            Self::ZeroDimension { dimension } => {
+                write!(f, "number of {dimension} must be positive")
+            }
+            Self::IndexOutOfRange { kind, index, len } => {
+                write!(f, "{kind} index {index} out of range ({len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

@@ -1,0 +1,65 @@
+//! The common interface implemented by every request model.
+
+use crate::RequestMatrix;
+
+/// A memory-reference model: where does each processor send its requests?
+///
+/// Implementations must be *consistent*: [`RequestModel::matrix`] returns a
+/// row-stochastic `N × M` matrix whose entry `(p, j)` equals
+/// [`RequestModel::prob`]`(p, j)`.
+///
+/// The trait is object-safe, so heterogeneous collections of models (e.g.
+/// the hierarchical/uniform pairs in the paper's tables) can be processed
+/// uniformly.
+pub trait RequestModel {
+    /// Number of processors `N`.
+    fn processors(&self) -> usize;
+
+    /// Number of memory modules `M`.
+    fn memories(&self) -> usize;
+
+    /// Probability that processor `p`'s request (given one is issued)
+    /// targets memory `j`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `p ≥ N` or `j ≥ M`.
+    fn prob(&self, p: usize, j: usize) -> f64;
+
+    /// A short human-readable name for reports ("hierarchical", "uniform",
+    /// …).
+    fn name(&self) -> &str;
+
+    /// Materializes the full request matrix.
+    fn matrix(&self) -> RequestMatrix {
+        let rows = (0..self.processors())
+            .map(|p| (0..self.memories()).map(|j| self.prob(p, j)).collect())
+            .collect();
+        RequestMatrix::from_rows(rows).expect("request models must produce row-stochastic matrices")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FavoriteModel, HierarchicalModel, UniformModel};
+
+    #[test]
+    fn trait_is_object_safe_and_consistent() {
+        let models: Vec<Box<dyn RequestModel>> = vec![
+            Box::new(UniformModel::new(4, 6).unwrap()),
+            Box::new(FavoriteModel::new(4, 4, 0.5).unwrap()),
+            Box::new(HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1]).unwrap()),
+        ];
+        for model in &models {
+            let matrix = model.matrix();
+            assert_eq!(matrix.processors(), model.processors());
+            assert_eq!(matrix.memories(), model.memories());
+            for p in 0..model.processors() {
+                for j in 0..model.memories() {
+                    assert_eq!(matrix.prob(p, j), model.prob(p, j), "{}", model.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Replayable request traces.
+//!
+//! The simulator normally samples requests on the fly, but reproducible
+//! experiments (and failure-injection A/B comparisons) want the *same*
+//! request stream replayed against different topologies. A [`Trace`] is a
+//! flat, cycle-ordered record of issued requests that any component can
+//! replay.
+
+use crate::{WorkloadError, WorkloadSampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One issued request: processor `processor` targeted memory `memory` in
+/// cycle `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Cycle index, starting at 0.
+    pub cycle: u64,
+    /// Requesting processor.
+    pub processor: usize,
+    /// Target memory module.
+    pub memory: usize,
+}
+
+/// A cycle-ordered sequence of request records over a fixed number of
+/// cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    cycles: u64,
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace spanning `cycles` cycles.
+    pub fn empty(cycles: u64) -> Self {
+        Self {
+            cycles,
+            records: Vec::new(),
+        }
+    }
+
+    /// Generates a trace by sampling `sampler` for `cycles` cycles.
+    pub fn generate<R: Rng + ?Sized>(sampler: &WorkloadSampler, cycles: u64, rng: &mut R) -> Self {
+        let mut records = Vec::new();
+        for cycle in 0..cycles {
+            for p in 0..sampler.processors() {
+                if let Some(memory) = sampler.sample_processor(p, rng) {
+                    records.push(TraceRecord {
+                        cycle,
+                        processor: p,
+                        memory,
+                    });
+                }
+            }
+        }
+        Self { cycles, records }
+    }
+
+    /// Builds a trace from pre-sorted records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::IndexOutOfRange`] if any record's cycle is
+    /// `≥ cycles`, or if the records are not sorted by cycle.
+    pub fn from_records(cycles: u64, records: Vec<TraceRecord>) -> Result<Self, WorkloadError> {
+        let mut last = 0u64;
+        for rec in &records {
+            if rec.cycle >= cycles {
+                return Err(WorkloadError::IndexOutOfRange {
+                    kind: "cycle",
+                    index: rec.cycle as usize,
+                    len: cycles as usize,
+                });
+            }
+            if rec.cycle < last {
+                return Err(WorkloadError::IndexOutOfRange {
+                    kind: "unsorted trace cycle",
+                    index: rec.cycle as usize,
+                    len: last as usize,
+                });
+            }
+            last = rec.cycle;
+        }
+        Ok(Self { cycles, records })
+    }
+
+    /// Number of cycles the trace spans.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total number of issued requests.
+    pub fn request_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All records, cycle-ordered.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Mean requests issued per cycle (the empirical offered load `N·r`).
+    pub fn offered_load(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.records.len() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Iterates over cycles, yielding `(cycle, records_in_that_cycle)`;
+    /// cycles without requests yield empty slices.
+    pub fn iter_cycles(&self) -> CycleIter<'_> {
+        CycleIter {
+            trace: self,
+            next_cycle: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Per-memory request counts, for hot-spot inspection (length =
+    /// `max memory index + 1`).
+    pub fn memory_histogram(&self) -> Vec<u64> {
+        let len = self.records.iter().map(|r| r.memory + 1).max().unwrap_or(0);
+        let mut counts = vec![0u64; len];
+        for rec in &self.records {
+            counts[rec.memory] += 1;
+        }
+        counts
+    }
+}
+
+/// Iterator over the cycles of a [`Trace`]; see [`Trace::iter_cycles`].
+#[derive(Debug)]
+pub struct CycleIter<'a> {
+    trace: &'a Trace,
+    next_cycle: u64,
+    cursor: usize,
+}
+
+impl<'a> Iterator for CycleIter<'a> {
+    type Item = (u64, &'a [TraceRecord]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_cycle >= self.trace.cycles {
+            return None;
+        }
+        let cycle = self.next_cycle;
+        let start = self.cursor;
+        while self.cursor < self.trace.records.len()
+            && self.trace.records[self.cursor].cycle == cycle
+        {
+            self.cursor += 1;
+        }
+        self.next_cycle += 1;
+        Some((cycle, &self.trace.records[start..self.cursor]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RequestModel, UniformModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(n: usize, m: usize, r: f64) -> WorkloadSampler {
+        WorkloadSampler::new(&UniformModel::new(n, m).unwrap().matrix(), r).unwrap()
+    }
+
+    #[test]
+    fn generated_trace_has_expected_load() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let trace = Trace::generate(&sampler(4, 4, 0.5), 10_000, &mut rng);
+        assert_eq!(trace.cycles(), 10_000);
+        // Offered load ≈ N·r = 2.
+        assert!((trace.offered_load() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rate_one_records_every_processor_every_cycle() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let trace = Trace::generate(&sampler(3, 4, 1.0), 50, &mut rng);
+        assert_eq!(trace.request_count(), 150);
+        for (cycle, recs) in trace.iter_cycles() {
+            assert_eq!(recs.len(), 3, "cycle {cycle}");
+            assert_eq!(
+                recs.iter().map(|r| r.processor).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
+        }
+    }
+
+    #[test]
+    fn iter_cycles_covers_empty_cycles() {
+        let trace = Trace::from_records(
+            3,
+            vec![TraceRecord {
+                cycle: 1,
+                processor: 0,
+                memory: 0,
+            }],
+        )
+        .unwrap();
+        let sizes: Vec<usize> = trace.iter_cycles().map(|(_, recs)| recs.len()).collect();
+        assert_eq!(sizes, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn from_records_validates() {
+        let bad_cycle = Trace::from_records(
+            2,
+            vec![TraceRecord {
+                cycle: 5,
+                processor: 0,
+                memory: 0,
+            }],
+        );
+        assert!(bad_cycle.is_err());
+        let unsorted = Trace::from_records(
+            5,
+            vec![
+                TraceRecord {
+                    cycle: 3,
+                    processor: 0,
+                    memory: 0,
+                },
+                TraceRecord {
+                    cycle: 1,
+                    processor: 0,
+                    memory: 0,
+                },
+            ],
+        );
+        assert!(unsorted.is_err());
+    }
+
+    #[test]
+    fn memory_histogram_counts() {
+        let trace = Trace::from_records(
+            2,
+            vec![
+                TraceRecord {
+                    cycle: 0,
+                    processor: 0,
+                    memory: 2,
+                },
+                TraceRecord {
+                    cycle: 1,
+                    processor: 1,
+                    memory: 2,
+                },
+                TraceRecord {
+                    cycle: 1,
+                    processor: 0,
+                    memory: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(trace.memory_histogram(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let s = sampler(4, 4, 0.7);
+        let t1 = Trace::generate(&s, 100, &mut StdRng::seed_from_u64(99));
+        let t2 = Trace::generate(&s, 100, &mut StdRng::seed_from_u64(99));
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,66 @@
+//! The §III-A motivation pipeline, end to end: communicating tasks →
+//! cluster-aware placement → hierarchical traffic → interconnect sizing.
+//!
+//! The paper motivates the hierarchical requesting model by how jobs are
+//! scheduled: tasks that communicate heavily are placed on the same cluster,
+//! which concentrates memory traffic locally. This example generates such a
+//! job, measures the traffic each placement induces, fits the hierarchical
+//! model, and uses the analysis to pick a bus count.
+//!
+//! Run with: `cargo run --example cluster_workload`
+
+use multibus::prelude::*;
+use multibus::workload::taskgraph::{derived_model, derived_shares, Assignment, TaskGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // A job of 4 task groups × 8 tasks; intra-group edges are 20× heavier.
+    let job = TaskGraph::synthetic(4, 8, 10.0, 0.5, &mut rng)?;
+    println!(
+        "job: {} tasks in {} groups, total communication weight {:.1}",
+        job.tasks(),
+        job.group_count(),
+        job.total_weight()
+    );
+
+    // Target machine: 16 processors in 4 clusters (the paper's hierarchy).
+    let hierarchy = Hierarchy::two_level(16, 4)?;
+
+    // Good placement: one group per cluster.  Control: groups scattered.
+    let local = Assignment::locality_aware(&job, &hierarchy);
+    let scattered = Assignment::scattered(&job, 16);
+
+    let local_shares = derived_shares(&job, &local, &hierarchy)?;
+    let scattered_shares = derived_shares(&job, &scattered, &hierarchy)?;
+    println!("\ninduced traffic shares [favorite, cluster, remote]:");
+    println!("  locality-aware: {local_shares:.3?}");
+    println!("  scattered:      {scattered_shares:.3?}");
+
+    // Fit hierarchical models and compare interconnect needs at B = N/2.
+    let network = BusNetwork::new(16, 16, 8, ConnectionScheme::Full)?;
+    let local_model = derived_model(&job, &local, &hierarchy)?;
+    let scattered_model = derived_model(&job, &scattered, &hierarchy)?;
+    let bw_local = memory_bandwidth(&network, &local_model.matrix(), 1.0)?;
+    let bw_scattered = memory_bandwidth(&network, &scattered_model.matrix(), 1.0)?;
+    println!("\nbandwidth on a 16x16x8 full-connection network (r = 1):");
+    println!("  locality-aware placement: {bw_local:.3} requests/cycle");
+    println!("  scattered placement:      {bw_scattered:.3} requests/cycle");
+    assert!(
+        bw_local > bw_scattered,
+        "locality must reduce memory contention"
+    );
+
+    // How many buses does the placed workload actually need? (§IV's
+    // question.)  Find the smallest B reaching 95% of the crossbar.
+    let matrix = local_model.matrix();
+    let needed = multibus::analysis::sweep::buses_for_crossbar_fraction(16, &matrix, 1.0, 0.95)?;
+    println!("\nsmallest B reaching 95% of crossbar bandwidth at r=1.0: {needed}");
+    let needed_half =
+        multibus::analysis::sweep::buses_for_crossbar_fraction(16, &matrix, 0.5, 0.95)?;
+    println!("…and at r=0.5: {needed_half} (the paper: ~N/2 suffices at half rate)");
+    assert!(needed_half <= needed);
+    Ok(())
+}

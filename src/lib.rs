@@ -1,0 +1,11 @@
+//! `multibus` — umbrella crate for the multiple-bus interconnection network
+//! workspace reproducing Chen & Sheu (ICDCS 1988).
+//!
+//! This crate simply re-exports the high-level API of [`mbus_core`]. See the
+//! workspace `README.md` for the architecture overview, `DESIGN.md` for the
+//! per-experiment index, and the `examples/` directory for runnable
+//! demonstrations.
+
+#![forbid(unsafe_code)]
+
+pub use mbus_core::*;

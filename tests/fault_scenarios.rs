@@ -1,0 +1,200 @@
+//! Degraded-mode behaviour: bus failures across every scheme, checked
+//! against the analytical model of the *surviving* topology.
+
+use multibus::exact::enumerate;
+use multibus::prelude::*;
+use multibus::sim::{FaultEvent, FaultEventKind, FaultSchedule};
+
+fn fail_at_start(buses: &[usize]) -> FaultSchedule {
+    FaultSchedule::from_events(
+        buses
+            .iter()
+            .map(|&bus| FaultEvent {
+                cycle: 0,
+                bus,
+                kind: FaultEventKind::Fail,
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn simulate_with_failures(
+    net: &BusNetwork,
+    matrix: &RequestMatrix,
+    failures: &[usize],
+    cycles: u64,
+) -> f64 {
+    let mut sim = Simulator::build(net, matrix, 1.0).unwrap();
+    sim.run(
+        &SimConfig::new(cycles)
+            .with_warmup(cycles / 20)
+            .with_seed(77)
+            .with_faults(fail_at_start(failures)),
+    )
+    .bandwidth
+    .mean()
+}
+
+/// A full-connection network with f failed buses behaves exactly like a
+/// healthy network with B − f buses.
+#[test]
+fn full_with_failures_equals_smaller_network() {
+    let n = 8;
+    let matrix = multibus::paper_params::hierarchical(n).unwrap().matrix();
+    let net = BusNetwork::new(n, n, 6, ConnectionScheme::Full).unwrap();
+    for failed in 1..=4usize {
+        let degraded =
+            simulate_with_failures(&net, &matrix, &(0..failed).collect::<Vec<_>>(), 120_000);
+        let shrunk = BusNetwork::new(n, n, 6 - failed, ConnectionScheme::Full).unwrap();
+        let reference = enumerate::exact_bandwidth(&shrunk, &matrix, 1.0).unwrap();
+        assert!(
+            (degraded - reference).abs() < 0.05,
+            "{failed} failures: {degraded} vs B-{failed} reference {reference}"
+        );
+    }
+}
+
+/// Killing one group of a partial network halves it: the surviving group
+/// still delivers its own subnetwork bandwidth.
+#[test]
+fn partial_group_loss_leaves_other_group_intact() {
+    let n = 8;
+    let matrix = multibus::paper_params::hierarchical(n).unwrap().matrix();
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap();
+    // Buses 0, 1 form group 0.
+    let degraded = simulate_with_failures(&net, &matrix, &[0, 1], 120_000);
+    let healthy = enumerate::exact_bandwidth(&net, &matrix, 1.0).unwrap();
+    assert!(
+        (degraded - healthy / 2.0).abs() < 0.08,
+        "half the network should survive: {degraded} vs {healthy}/2"
+    );
+    // Reachability: exactly half the memories survive.
+    let mask = FaultMask::with_failures(4, &[0, 1]).unwrap();
+    assert_eq!(
+        DegradedView::new(&net, &mask)
+            .unwrap()
+            .accessible_memory_count(),
+        4
+    );
+}
+
+/// The single-connection network loses exactly the failed bus's memories.
+#[test]
+fn single_connection_unreachable_accounting() {
+    let n = 8;
+    let matrix = multibus::paper_params::hierarchical(n).unwrap().matrix();
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::balanced_single(n, 4).unwrap()).unwrap();
+    let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+    let report = sim.run(
+        &SimConfig::new(50_000)
+            .with_warmup(1_000)
+            .with_seed(3)
+            .with_faults(fail_at_start(&[0])),
+    );
+    // Memories 0, 1 (cluster 0's pair) are on bus 0: their traffic is
+    // dropped as unreachable. Processors 0 and 1 send 0.9 of their traffic
+    // to those two memories, the other six send 2·(0.1/6) each.
+    let expected_unreachable = 2.0 * 0.9 + 6.0 * (2.0 * 0.1 / 6.0);
+    assert!(
+        (report.unreachable_rate - expected_unreachable).abs() < 0.05,
+        "unreachable {} vs expected {expected_unreachable}",
+        report.unreachable_rate
+    );
+    assert_eq!(report.bus_utilization[0], 0.0);
+}
+
+/// K-class networks degrade asymmetrically: high-bus failures are absorbed,
+/// low-bus failures isolate the low class.
+#[test]
+fn kclass_failure_asymmetry() {
+    let n = 8;
+    let b = 4;
+    let matrix = multibus::paper_params::hierarchical(n).unwrap().matrix();
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+    // Fail top bus (index 3, reachable only by class C_4): nothing becomes
+    // unreachable.
+    let mask_high = FaultMask::with_failures(b, &[3]).unwrap();
+    assert!(DegradedView::new(&net, &mask_high)
+        .unwrap()
+        .fully_connected());
+    // Fail bus 0 (class C_1's only bus): its two memories drop off.
+    let mask_low = FaultMask::with_failures(b, &[0]).unwrap();
+    assert_eq!(
+        DegradedView::new(&net, &mask_low)
+            .unwrap()
+            .accessible_memory_count(),
+        6
+    );
+    // And bandwidth is worse in the low-failure case.
+    let high = simulate_with_failures(&net, &matrix, &[3], 80_000);
+    let low = simulate_with_failures(&net, &matrix, &[0], 80_000);
+    assert!(
+        high > low,
+        "losing the low (shared) bus must hurt more: {high} vs {low}"
+    );
+}
+
+/// Repair restores full bandwidth.
+#[test]
+fn repair_restores_bandwidth() {
+    let n = 8;
+    let matrix = multibus::paper_params::hierarchical(n).unwrap().matrix();
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::Full).unwrap();
+    let schedule = FaultSchedule::from_events(vec![
+        FaultEvent {
+            cycle: 0,
+            bus: 0,
+            kind: FaultEventKind::Fail,
+        },
+        // Repair just before measurement starts: warmup absorbs the outage.
+        FaultEvent {
+            cycle: 4_999,
+            bus: 0,
+            kind: FaultEventKind::Repair,
+        },
+    ])
+    .unwrap();
+    let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+    let repaired = sim.run(
+        &SimConfig::new(100_000)
+            .with_warmup(5_000)
+            .with_seed(9)
+            .with_faults(schedule),
+    );
+    let healthy = enumerate::exact_bandwidth(&net, &matrix, 1.0).unwrap();
+    assert!(
+        (repaired.bandwidth.mean() - healthy).abs() < 0.05,
+        "after repair: {} vs healthy {healthy}",
+        repaired.bandwidth
+    );
+}
+
+/// Degree-of-fault-tolerance guarantees from Table I hold for every scheme.
+#[test]
+fn table_one_guarantees_hold() {
+    let n = 16;
+    let b = 8;
+    let schemes: Vec<ConnectionScheme> = vec![
+        ConnectionScheme::Full,
+        ConnectionScheme::balanced_single(n, b).unwrap(),
+        ConnectionScheme::PartialGroups { groups: 2 },
+        ConnectionScheme::uniform_classes(n, 4).unwrap(),
+    ];
+    for scheme in schemes {
+        let net = BusNetwork::new(n, n, b, scheme).unwrap();
+        let degree = net.fault_tolerance_degree();
+        // Any `degree` failures leave the network fully connected — check
+        // the worst case (prefix failures hit the K-class low buses, which
+        // is its weakest direction).
+        if degree > 0 {
+            let failures: Vec<usize> = (0..degree).collect();
+            let mask = FaultMask::with_failures(b, &failures).unwrap();
+            assert!(
+                DegradedView::new(&net, &mask).unwrap().fully_connected(),
+                "{} must survive {degree} failures",
+                net.kind()
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Behavioural tests of the paper's proposed K-class networks: service
+//! fairness across classes, the placement principle, and the §III-D
+//! procedure's structural limits.
+
+use multibus::exact::enumerate;
+use multibus::prelude::*;
+
+/// Under saturation, modules in higher classes (more buses) are served more
+/// often than modules in lower classes — the flip side of per-class fault
+/// tolerance.
+#[test]
+fn low_classes_are_served_less_under_saturation() {
+    let n = 8;
+    let b = 4;
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+    let matrix = UniformModel::new(n, n).unwrap().matrix();
+    let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+    let report = sim.run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(21));
+    // Classes: C_1 = {0,1} (1 bus) … C_4 = {6,7} (4 buses).
+    let class_rate = |c: usize| {
+        let range = net.memories_of_class(c).unwrap();
+        range.map(|j| report.memory_service_rates[j]).sum::<f64>()
+    };
+    let rates: Vec<f64> = (0..4).map(class_rate).collect();
+    // Uniform traffic hits all classes equally, so service differences are
+    // pure connectivity effects: strictly more service for higher classes.
+    for pair in rates.windows(2) {
+        assert!(
+            pair[1] > pair[0] - 0.01,
+            "service must not decrease with class: {rates:?}"
+        );
+    }
+    assert!(
+        rates[3] > rates[0] + 0.05,
+        "top class should clearly beat bottom: {rates:?}"
+    );
+}
+
+/// The §II-A placement principle, measured: putting the hot modules in the
+/// top class recovers bandwidth relative to the bottom class, for both the
+/// analysis and the exact model.
+#[test]
+fn placement_principle_quantified() {
+    let n = 8;
+    let b = 4;
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+    let hot_row = |hot: [usize; 2]| {
+        let mut row = vec![0.2 / 6.0; n];
+        row[hot[0]] = 0.4;
+        row[hot[1]] = 0.4;
+        row
+    };
+    let hot_top = RequestMatrix::from_rows(vec![hot_row([6, 7]); n]).unwrap();
+    let hot_bottom = RequestMatrix::from_rows(vec![hot_row([0, 1]); n]).unwrap();
+    for (label, value_top, value_bottom) in [
+        (
+            "analysis",
+            memory_bandwidth(&net, &hot_top, 1.0).unwrap(),
+            memory_bandwidth(&net, &hot_bottom, 1.0).unwrap(),
+        ),
+        (
+            "exact",
+            enumerate::exact_bandwidth(&net, &hot_top, 1.0).unwrap(),
+            enumerate::exact_bandwidth(&net, &hot_bottom, 1.0).unwrap(),
+        ),
+    ] {
+        assert!(
+            value_top > value_bottom + 0.1,
+            "{label}: hot-on-top {value_top} must beat hot-on-bottom {value_bottom}"
+        );
+    }
+}
+
+/// Structural limit of the §III-D procedure: with K classes, bus `i` can
+/// only ever carry spill-down from classes whose top bus is ≥ i, so when
+/// classes are small relative to `B − K + j`, low buses sit idle even at
+/// full load.
+#[test]
+fn kclass_low_buses_can_be_unreachable() {
+    // 8 memories, 8 buses, K = 2 classes of 4: class tops are buses 7 and 8
+    // (1-based), so spill-down reaches at most bus 4; buses 1–3 are dead
+    // weight.
+    let net = BusNetwork::new(8, 8, 8, ConnectionScheme::uniform_classes(8, 2).unwrap()).unwrap();
+    let all_requested = vec![true; 8];
+    assert_eq!(enumerate::served_given_requested(&net, &all_requested), 5);
+    // The simulator agrees: utilization of buses 0..3 is exactly zero.
+    let matrix = UniformModel::new(8, 8).unwrap().matrix();
+    let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+    let report = sim.run(&SimConfig::new(20_000).with_seed(2));
+    for bus in 0..3 {
+        assert_eq!(
+            report.bus_utilization[bus], 0.0,
+            "bus {bus} should be unreachable"
+        );
+    }
+    assert!(report.bus_utilization[7] > 0.9);
+}
+
+/// K = B classes avoid that pathology: every bus is some class's top bus.
+#[test]
+fn k_equals_b_uses_every_bus() {
+    let net = BusNetwork::new(8, 8, 8, ConnectionScheme::uniform_classes(8, 8).unwrap()).unwrap();
+    let all_requested = vec![true; 8];
+    assert_eq!(enumerate::served_given_requested(&net, &all_requested), 8);
+}

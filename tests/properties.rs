@@ -1,0 +1,200 @@
+//! Property-based tests over the analytical core, the exact models, and the
+//! workload machinery.
+
+use multibus::exact::enumerate;
+use multibus::prelude::*;
+use proptest::prelude::*;
+
+/// A random row-stochastic matrix of the given shape.
+fn request_matrix(n: usize, m: usize) -> impl Strategy<Value = RequestMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), n).prop_map(
+        move |mut rows| {
+            for row in &mut rows {
+                let sum: f64 = row.iter().sum();
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+            RequestMatrix::from_rows(rows).expect("normalized rows are stochastic")
+        },
+    )
+}
+
+/// Random valid (scheme, b) pairs for an 8-memory network.
+fn scheme_for_8() -> impl Strategy<Value = (ConnectionScheme, usize)> {
+    prop_oneof![
+        (1usize..=8).prop_map(|b| (ConnectionScheme::Full, b)),
+        (1usize..=8)
+            .prop_map(|b| { (ConnectionScheme::balanced_single(8, b).expect("b <= m"), b,) }),
+        (1usize..=4).prop_map(|half| (ConnectionScheme::PartialGroups { groups: 2 }, half * 2)),
+        (1usize..=8).prop_map(|b| {
+            let k = b.min(4);
+            (ConnectionScheme::uniform_classes(8, k).expect("k <= m"), b)
+        }),
+        (1usize..=8).prop_map(|b| (ConnectionScheme::Crossbar, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bandwidth is bounded by capacity, offered load, and expected distinct
+    /// requests, for any workload and scheme.
+    #[test]
+    fn bandwidth_bounds((scheme, b) in scheme_for_8(),
+                        matrix in request_matrix(6, 8),
+                        r in 0.0f64..=1.0) {
+        let net = BusNetwork::new(6, 8, b, scheme).unwrap();
+        let bw = memory_bandwidth(&net, &matrix, r).unwrap();
+        prop_assert!(bw >= -1e-12);
+        prop_assert!(bw <= net.capacity() as f64 + 1e-9);
+        prop_assert!(bw <= matrix.offered_load(r) + 1e-9);
+        // Never more than the expected number of distinct requested
+        // memories (the crossbar bound).
+        let xs = matrix.memory_request_probs(r).unwrap();
+        prop_assert!(bw <= xs.iter().sum::<f64>() + 1e-9);
+    }
+
+    /// The analytical bandwidth is monotone in the request rate.
+    #[test]
+    fn bandwidth_monotone_in_rate((scheme, b) in scheme_for_8(),
+                                  matrix in request_matrix(6, 8),
+                                  r in 0.0f64..0.99) {
+        let net = BusNetwork::new(6, 8, b, scheme).unwrap();
+        let low = memory_bandwidth(&net, &matrix, r).unwrap();
+        let high = memory_bandwidth(&net, &matrix, (r + 0.01).min(1.0)).unwrap();
+        prop_assert!(high >= low - 1e-9);
+    }
+
+    /// Full connection dominates every other bus scheme; the crossbar
+    /// dominates everything.
+    #[test]
+    fn scheme_dominance(matrix in request_matrix(8, 8), r in 0.1f64..=1.0, b in 1usize..=8) {
+        let bw = |scheme: ConnectionScheme| {
+            memory_bandwidth(&BusNetwork::new(8, 8, b, scheme).unwrap(), &matrix, r).unwrap()
+        };
+        let full = bw(ConnectionScheme::Full);
+        let xbar = bw(ConnectionScheme::Crossbar);
+        let single = bw(ConnectionScheme::balanced_single(8, b).unwrap());
+        prop_assert!(xbar >= full - 1e-9);
+        prop_assert!(full >= single - 1e-9);
+        if b % 2 == 0 {
+            let partial = bw(ConnectionScheme::PartialGroups { groups: 2 });
+            prop_assert!(full >= partial - 1e-9);
+            prop_assert!(partial >= single - 1e-9);
+        }
+    }
+
+    /// The exact enumeration and the analytical model agree within a firm
+    /// global bound for arbitrary workloads (the independence approximation
+    /// is never wildly wrong on these sizes).
+    #[test]
+    fn analysis_close_to_exact((scheme, b) in scheme_for_8(),
+                               matrix in request_matrix(6, 8),
+                               r in 0.1f64..=1.0) {
+        let net = BusNetwork::new(6, 8, b, scheme).unwrap();
+        let approx = memory_bandwidth(&net, &matrix, r).unwrap();
+        let exact = enumerate::exact_bandwidth(&net, &matrix, r).unwrap();
+        prop_assert!((approx - exact).abs() < 0.30,
+                     "approx {approx} vs exact {exact}");
+        // And exactly equal where no bus constraint binds — except for
+        // K-class networks, whose §III-D assignment can idle low buses even
+        // with B = M (see tests/kclass_behavior.rs).
+        if net.capacity() >= 8 && net.kind() != SchemeKind::KClasses {
+            prop_assert!((approx - exact).abs() < 1e-9);
+        }
+    }
+
+    /// Stage-2 oracle sanity for arbitrary requested sets: the service
+    /// count never exceeds the requested count nor the capacity, and adding
+    /// a request never reduces it.
+    #[test]
+    fn served_oracle_is_monotone((scheme, b) in scheme_for_8(), mask in 0u32..256) {
+        let net = BusNetwork::new(8, 8, b, scheme).unwrap();
+        let requested: Vec<bool> = (0..8).map(|j| mask & (1 << j) != 0).collect();
+        let served = enumerate::served_given_requested(&net, &requested);
+        let count = requested.iter().filter(|&&x| x).count();
+        prop_assert!(served <= count);
+        prop_assert!(served <= net.capacity());
+        // Monotonicity: turning one more memory on cannot reduce service.
+        for j in 0..8 {
+            if !requested[j] {
+                let mut more = requested.clone();
+                more[j] = true;
+                prop_assert!(enumerate::served_given_requested(&net, &more) >= served);
+            }
+        }
+    }
+
+    /// Hierarchical models produce row-stochastic matrices whose per-memory
+    /// request probabilities are symmetric across memories.
+    #[test]
+    fn hierarchical_matrix_invariants(clusters in 2usize..=4, per in 2usize..=4,
+                                      fav in 0.34f64..0.9, r in 0.1f64..=1.0) {
+        let n = clusters * per;
+        let rest = 1.0 - fav;
+        let model = HierarchicalModel::two_level_paired(
+            n, clusters, [fav, rest * 0.75, rest * 0.25]).unwrap();
+        let matrix = model.matrix();
+        let xs = matrix.memory_request_probs(r).unwrap();
+        let x0 = xs[0];
+        for (j, &x) in xs.iter().enumerate() {
+            prop_assert!((x - x0).abs() < 1e-12, "memory {j} asymmetric: {x} vs {x0}");
+        }
+        // Equation (2) agrees with the exact per-memory computation.
+        let eq2 = multibus::analysis::paper::eq2_request_probability(
+            model.hierarchy(), model.fractions(), r).unwrap();
+        prop_assert!((eq2 - x0).abs() < 1e-12);
+    }
+
+    /// Cost accounting: the sum of per-bus memory attachments equals the
+    /// memory-side connection count for every scheme.
+    #[test]
+    fn cost_consistency((scheme, b) in scheme_for_8()) {
+        let net = BusNetwork::new(8, 8, b, scheme).unwrap();
+        if net.kind() == SchemeKind::Crossbar {
+            prop_assert_eq!(net.cost().connections, 64);
+        } else {
+            let memory_side: usize =
+                (0..b).map(|bus| net.memories_of_bus(bus).count()).sum();
+            let expected = b * 8 + memory_side; // BN + memory attachments
+            prop_assert_eq!(net.cost().connections, expected);
+            // Per-bus loads are N + attachments.
+            for bus in 0..b {
+                prop_assert_eq!(
+                    net.cost().bus_loads[bus],
+                    8 + net.memories_of_bus(bus).count()
+                );
+            }
+        }
+    }
+
+    /// Fault masks: reachability is monotone (repairing a bus never hurts).
+    #[test]
+    fn reachability_monotone((scheme, b) in scheme_for_8(), mask_bits in 0u32..256) {
+        let net = BusNetwork::new(8, 8, b, scheme).unwrap();
+        let failures: Vec<usize> = (0..b).filter(|i| mask_bits & (1 << i) != 0).collect();
+        let mask = FaultMask::with_failures(b, &failures).unwrap();
+        let view = DegradedView::new(&net, &mask).unwrap();
+        let accessible = view.accessible_memory_count();
+        for &bus in &failures {
+            let mut repaired = mask.clone();
+            repaired.repair(bus).unwrap();
+            let better = DegradedView::new(&net, &repaired).unwrap().accessible_memory_count();
+            prop_assert!(better >= accessible);
+        }
+    }
+}
+
+/// Deterministic (non-proptest) regression: equation (2)'s homogeneous X
+/// equals the matrix-derived X for the paper's own configurations.
+#[test]
+fn paper_configurations_are_homogeneous() {
+    for n in [8usize, 12, 16, 32] {
+        let model = multibus::paper_params::hierarchical(n).unwrap();
+        let xs = model.matrix().memory_request_probs(1.0).unwrap();
+        for &x in &xs {
+            assert!((x - xs[0]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Resubmission-mode semantics (the extension relaxing the paper's
+//! assumption 5).
+
+use multibus::prelude::*;
+
+fn system(n: usize, b: usize, r: f64) -> System {
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::Full).unwrap();
+    let model = multibus::paper_params::hierarchical(n).unwrap();
+    System::new(net, &model, r).unwrap()
+}
+
+#[test]
+fn throughput_never_exceeds_capacity_or_offered_load() {
+    for r in [0.2, 0.6, 1.0] {
+        let sys = system(8, 2, r);
+        let report = sys
+            .simulate(
+                &SimConfig::new(60_000)
+                    .with_warmup(5_000)
+                    .with_seed(4)
+                    .with_resubmission(true),
+            )
+            .unwrap();
+        assert!(report.bandwidth.mean() <= 2.0 + 1e-9);
+        // Fresh-issue rate adapts: a processor with a pending retry issues
+        // nothing new, so offered load ≤ N·r.
+        assert!(report.offered_load <= 8.0 * r + 1e-9);
+    }
+}
+
+#[test]
+fn light_load_is_wait_free_heavy_load_queues() {
+    let light = system(8, 4, 0.1)
+        .simulate(
+            &SimConfig::new(80_000)
+                .with_warmup(2_000)
+                .with_seed(5)
+                .with_resubmission(true),
+        )
+        .unwrap();
+    assert!(
+        light.mean_wait < 0.05,
+        "light load wait {}",
+        light.mean_wait
+    );
+    let heavy = system(8, 2, 1.0)
+        .simulate(
+            &SimConfig::new(80_000)
+                .with_warmup(2_000)
+                .with_seed(5)
+                .with_resubmission(true),
+        )
+        .unwrap();
+    assert!(heavy.mean_wait > 0.5, "heavy load wait {}", heavy.mean_wait);
+    assert!(heavy.max_wait >= 3);
+}
+
+#[test]
+fn resubmission_increases_throughput_under_saturation() {
+    // Under drop semantics, collisions waste service slots that retries
+    // would reclaim: at saturation, resubmission throughput ≥ drop
+    // throughput.
+    let sys = system(8, 4, 1.0);
+    let drop = sys
+        .simulate(&SimConfig::new(80_000).with_warmup(4_000).with_seed(6))
+        .unwrap();
+    let resub = sys
+        .simulate(
+            &SimConfig::new(80_000)
+                .with_warmup(4_000)
+                .with_seed(6)
+                .with_resubmission(true),
+        )
+        .unwrap();
+    assert!(
+        resub.bandwidth.mean() >= drop.bandwidth.mean() - 0.02,
+        "resubmission {} vs drop {}",
+        resub.bandwidth,
+        drop.bandwidth
+    );
+}
+
+#[test]
+fn unsaturated_resubmission_serves_all_offered_load() {
+    // Below the knee, everything offered is eventually served: throughput
+    // equals the fresh-issue rate.
+    let sys = system(8, 4, 0.3);
+    let report = sys
+        .simulate(
+            &SimConfig::new(100_000)
+                .with_warmup(5_000)
+                .with_seed(8)
+                .with_resubmission(true),
+        )
+        .unwrap();
+    assert!(
+        (report.bandwidth.mean() - report.offered_load).abs() < 0.02,
+        "throughput {} vs offered {}",
+        report.bandwidth,
+        report.offered_load
+    );
+    assert!((report.acceptance - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn waits_are_zero_under_drop_semantics() {
+    let sys = system(8, 2, 1.0);
+    let report = sys.simulate(&SimConfig::new(20_000).with_seed(2)).unwrap();
+    assert_eq!(report.mean_wait, 0.0);
+    assert_eq!(report.max_wait, 0);
+}
