@@ -1,5 +1,6 @@
 //! Error type for the analytical models.
 
+use mbus_topology::TopologyError;
 use mbus_workload::WorkloadError;
 
 /// Error returned by bandwidth computations.
@@ -29,6 +30,9 @@ pub enum AnalysisError {
     },
     /// An underlying workload computation failed.
     Workload(WorkloadError),
+    /// Building a network for an analysis point failed (e.g. an invalid
+    /// bus count or class layout during a sweep).
+    Topology(TopologyError),
     /// The connection scheme is not supported by this analysis (future
     /// scheme variants).
     UnsupportedScheme {
@@ -55,6 +59,7 @@ impl std::fmt::Display for AnalysisError {
                 "network has {network} {what} but the workload describes {workload}"
             ),
             Self::Workload(err) => write!(f, "workload error: {err}"),
+            Self::Topology(err) => write!(f, "topology error: {err}"),
             Self::UnsupportedScheme { scheme } => {
                 write!(
                     f,
@@ -69,6 +74,7 @@ impl std::error::Error for AnalysisError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Workload(err) => Some(err),
+            Self::Topology(err) => Some(err),
             _ => None,
         }
     }
@@ -77,5 +83,11 @@ impl std::error::Error for AnalysisError {
 impl From<WorkloadError> for AnalysisError {
     fn from(err: WorkloadError) -> Self {
         Self::Workload(err)
+    }
+}
+
+impl From<TopologyError> for AnalysisError {
+    fn from(err: TopologyError) -> Self {
+        Self::Topology(err)
     }
 }

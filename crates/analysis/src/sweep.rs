@@ -1,6 +1,13 @@
 //! Parameter sweeps and the derived ratios quoted in the paper's §IV.
+//!
+//! Sweep points are independent, so [`bus_sweep`] evaluates them in
+//! parallel with [`mbus_stats::parallel::parallel_map`]; results come back
+//! in input order, and errors are reported for the *first failing point* in
+//! input order regardless of which thread hit one first, keeping the
+//! function deterministic.
 
 use crate::{bandwidth, AnalysisError};
+use mbus_stats::parallel::{available_workers, parallel_map};
 use mbus_topology::{BusNetwork, ConnectionScheme, TopologyError};
 use mbus_workload::RequestMatrix;
 use serde::{Deserialize, Serialize};
@@ -18,19 +25,20 @@ pub struct SweepPoint {
 ///
 /// Sweeps vary `B`, but some schemes' parameters depend on `B` (a balanced
 /// single assignment, `K = B` classes, …), so the sweep asks this factory at
-/// every point.
-pub type SchemeFactory<'a> = dyn Fn(usize) -> Result<ConnectionScheme, TopologyError> + 'a;
+/// every point. Factories must be `Sync`: sweep points are evaluated on
+/// multiple threads.
+pub type SchemeFactory<'a> = dyn Fn(usize) -> Result<ConnectionScheme, TopologyError> + Sync + 'a;
 
 /// Sweeps the analytical bandwidth over bus counts `bus_counts` for an
-/// `n × m` network whose scheme at each `B` is produced by `factory`.
+/// `n × m` network whose scheme at each `B` is produced by `factory`,
+/// evaluating the points across all available cores.
 ///
 /// # Errors
 ///
-/// Propagates topology construction errors (via
-/// [`AnalysisError::DimensionMismatch`] conversion is *not* attempted;
-/// topology errors surface as `InvalidProbability`-free
-/// [`AnalysisError::Workload`]-like wrapping is avoided by returning the
-/// bandwidth error of the first failing point).
+/// Scheme/network construction failures surface as
+/// [`AnalysisError::Topology`]; bandwidth errors are propagated as-is. When
+/// several points fail, the error of the first failing point (in
+/// `bus_counts` order) is returned.
 pub fn bus_sweep(
     n: usize,
     m: usize,
@@ -39,26 +47,33 @@ pub fn bus_sweep(
     matrix: &RequestMatrix,
     r: f64,
 ) -> Result<Vec<SweepPoint>, AnalysisError> {
-    bus_counts
-        .iter()
-        .map(|&b| {
-            let scheme = factory(b).map_err(|_| AnalysisError::DimensionMismatch {
-                what: "buses",
-                network: b,
-                workload: m,
-            })?;
-            let net =
-                BusNetwork::new(n, m, b, scheme).map_err(|_| AnalysisError::DimensionMismatch {
-                    what: "buses",
-                    network: b,
-                    workload: m,
-                })?;
-            Ok(SweepPoint {
-                buses: b,
-                bandwidth: bandwidth::memory_bandwidth(&net, matrix, r)?,
-            })
+    bus_sweep_with_workers(n, m, bus_counts, factory, matrix, r, available_workers())
+}
+
+/// [`bus_sweep`] with an explicit worker-thread budget (`workers <= 1`
+/// evaluates serially on the calling thread). Exposed for benchmarking the
+/// parallel speedup and for callers that manage their own thread budget.
+///
+/// # Errors
+///
+/// Same contract as [`bus_sweep`].
+pub fn bus_sweep_with_workers(
+    n: usize,
+    m: usize,
+    bus_counts: &[usize],
+    factory: &SchemeFactory<'_>,
+    matrix: &RequestMatrix,
+    r: f64,
+    workers: usize,
+) -> Result<Vec<SweepPoint>, AnalysisError> {
+    let points = parallel_map(bus_counts.to_vec(), workers, |b| {
+        let net = BusNetwork::new(n, m, b, factory(b)?)?;
+        Ok(SweepPoint {
+            buses: b,
+            bandwidth: bandwidth::memory_bandwidth(&net, matrix, r)?,
         })
-        .collect()
+    });
+    points.into_iter().collect()
 }
 
 /// The §IV "bus halving" ratio: bandwidth with `N` buses divided by
@@ -76,19 +91,7 @@ pub fn single_connection_halving_ratio(
     r: f64,
 ) -> Result<f64, AnalysisError> {
     let at = |b: usize| -> Result<f64, AnalysisError> {
-        let scheme = ConnectionScheme::balanced_single(n, b).map_err(|_| {
-            AnalysisError::DimensionMismatch {
-                what: "buses",
-                network: b,
-                workload: n,
-            }
-        })?;
-        let net =
-            BusNetwork::new(n, n, b, scheme).map_err(|_| AnalysisError::DimensionMismatch {
-                what: "buses",
-                network: b,
-                workload: n,
-            })?;
+        let net = BusNetwork::new(n, n, b, ConnectionScheme::balanced_single(n, b)?)?;
         bandwidth::memory_bandwidth(&net, matrix, r)
     };
     Ok(at(n)? / at(n / 2)?)
@@ -210,7 +213,9 @@ mod tests {
             1.0,
         );
         assert!(result.is_ok());
-        // A factory that demands indivisible groups fails cleanly.
+        // A factory that demands indivisible groups fails cleanly, with the
+        // underlying topology error preserved (not remapped to a bogus
+        // dimension mismatch).
         let result = bus_sweep(
             8,
             8,
@@ -219,7 +224,44 @@ mod tests {
             &matrix,
             1.0,
         );
-        assert!(result.is_err());
+        assert!(matches!(
+            result,
+            Err(AnalysisError::Topology(
+                mbus_topology::TopologyError::GroupsDontDivide { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn first_failing_point_wins_deterministically() {
+        // Two bad points (B = 3 and B = 100): the error must belong to the
+        // earliest one in input order, however the threads interleave.
+        let matrix = hier(8);
+        let result = bus_sweep(
+            8,
+            8,
+            &[2, 3, 4, 100],
+            &|_| Ok(ConnectionScheme::PartialGroups { groups: 2 }),
+            &matrix,
+            1.0,
+        );
+        match result {
+            Err(AnalysisError::Topology(mbus_topology::TopologyError::GroupsDontDivide {
+                buses,
+                ..
+            })) => assert_eq!(buses, 3),
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let matrix = hier(16);
+        let counts = [1, 2, 3, 4, 6, 8, 12, 16];
+        let factory: &SchemeFactory<'_> = &|_| Ok(ConnectionScheme::Full);
+        let serial = bus_sweep_with_workers(16, 16, &counts, factory, &matrix, 0.75, 1).unwrap();
+        let parallel = bus_sweep_with_workers(16, 16, &counts, factory, &matrix, 0.75, 8).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -85,13 +85,13 @@ fn bench(c: &mut Criterion) {
     group.bench_function("drop_semantics", |bch| {
         let mut sim = Simulator::build(&net, &matrix, 1.0).expect("valid");
         sim.reset(1);
-        bch.iter(|| sim.step())
+        bch.iter(|| sim.step().grants.len())
     });
     group.bench_function("resubmission", |bch| {
         let mut sim = Simulator::build(&net, &matrix, 1.0).expect("valid");
         sim.reset(1);
         sim.set_resubmission(true);
-        bch.iter(|| sim.step())
+        bch.iter(|| sim.step().grants.len())
     });
     group.finish();
 }

@@ -1,0 +1,248 @@
+//! `mbus bench` — the workspace throughput harness.
+//!
+//! Two measurements, reported to stdout and written as JSON:
+//!
+//! 1. **Engine throughput**: simulated cycles/sec of the optimized
+//!    [`Simulator`] against the frozen pre-optimization
+//!    [`ReferenceSimulator`], on the 32×32×8 full-connection network under
+//!    hierarchical traffic with resubmission — the configuration the
+//!    zero-allocation work targets. Both engines must produce the *same*
+//!    report (they share RNG draw order), so the harness doubles as an
+//!    end-to-end equivalence check.
+//! 2. **Sweep throughput**: analytical sweep points/sec of
+//!    [`bus_sweep_with_workers`] serial (1 worker) vs parallel (all cores)
+//!    on a 64-point full-connection sweep at N = 64.
+//!
+//! Timings take the best of `--reps` repetitions, with the two sides of each
+//! comparison interleaved rep by rep so background load on a shared machine
+//! penalizes both alike rather than whichever happened to run second.
+
+use crate::args::Args;
+use mbus_core::analysis::sweep::bus_sweep_with_workers;
+use mbus_core::prelude::*;
+use mbus_core::sim::reference::ReferenceSimulator;
+use mbus_core::stats::parallel::available_workers;
+use std::time::Instant;
+
+/// Best-of-`reps` wall times of `a` and `b`, interleaved (a, b, a, b, …) so
+/// background load on a shared machine hits both measurements alike instead
+/// of skewing whichever ran second.
+fn best_seconds_interleaved<A: FnMut(), B: FnMut()>(reps: usize, mut a: A, mut b: B) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        a();
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        b();
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
+}
+
+struct EngineResult {
+    total_cycles: u64,
+    optimized_cps: f64,
+    reference_cps: f64,
+}
+
+/// Times the optimized engine against the frozen reference engine.
+fn engine_benchmark(
+    n: usize,
+    b: usize,
+    cycles: u64,
+    seed: u64,
+    reps: usize,
+) -> Result<EngineResult, String> {
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+    let matrix = paper_params::hierarchical(n)
+        .map_err(|e| e.to_string())?
+        .matrix();
+    let config = SimConfig::new(cycles)
+        .with_warmup(cycles / 20)
+        .with_seed(seed)
+        .with_resubmission(true);
+    let total_cycles = cycles + cycles / 20;
+
+    let mut optimized = Simulator::build(&net, &matrix, 1.0).map_err(|e| e.to_string())?;
+    let mut reference = ReferenceSimulator::build(&net, &matrix, 1.0).map_err(|e| e.to_string())?;
+
+    // The engines must agree exactly before their speeds are worth
+    // comparing; `run` reseeds from the config, so this does not perturb
+    // the timed runs below.
+    let opt_report = optimized.run(&config);
+    let ref_report = reference.run(&config);
+    if opt_report != ref_report {
+        return Err("optimized and reference engines diverged — benchmark void".into());
+    }
+
+    let (opt_secs, ref_secs) = best_seconds_interleaved(
+        reps,
+        || {
+            optimized.run(&config);
+        },
+        || {
+            reference.run(&config);
+        },
+    );
+    Ok(EngineResult {
+        total_cycles,
+        optimized_cps: total_cycles as f64 / opt_secs,
+        reference_cps: total_cycles as f64 / ref_secs,
+    })
+}
+
+struct SweepResult {
+    points: usize,
+    workers: usize,
+    serial_pps: f64,
+    parallel_pps: f64,
+}
+
+/// Times a full-connection analytical bus sweep serially and in parallel.
+fn sweep_benchmark(n: usize, reps: usize) -> Result<SweepResult, String> {
+    let matrix = paper_params::hierarchical(n)
+        .map_err(|e| e.to_string())?
+        .matrix();
+    let bus_counts: Vec<usize> = (1..=n).collect();
+    let factory = |_| Ok(ConnectionScheme::Full);
+    let workers = available_workers();
+
+    let serial = bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, 1)
+        .map_err(|e| e.to_string())?;
+    let parallel = bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, workers)
+        .map_err(|e| e.to_string())?;
+    if serial != parallel {
+        return Err("serial and parallel sweeps diverged — benchmark void".into());
+    }
+
+    let (serial_secs, parallel_secs) = best_seconds_interleaved(
+        reps,
+        || {
+            bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, 1).unwrap();
+        },
+        || {
+            bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, workers).unwrap();
+        },
+    );
+    Ok(SweepResult {
+        points: bus_counts.len(),
+        workers,
+        serial_pps: bus_counts.len() as f64 / serial_secs,
+        parallel_pps: bus_counts.len() as f64 / parallel_secs,
+    })
+}
+
+/// Hand-rolled JSON for the benchmark report (the workspace carries no JSON
+/// dependency); every value is a number or bool, so no escaping is needed.
+fn render_json(
+    n: usize,
+    b: usize,
+    cycles: u64,
+    seed: u64,
+    engine: &EngineResult,
+    sweep_n: usize,
+    sweep: &SweepResult,
+) -> String {
+    format!(
+        "{{\n  \"engine\": {{\n    \"n\": {n},\n    \"m\": {n},\n    \"b\": {b},\n    \
+         \"scheme\": \"full\",\n    \"workload\": \"hierarchical\",\n    \"rate\": 1.0,\n    \
+         \"resubmission\": true,\n    \"cycles\": {cycles},\n    \"seed\": {seed},\n    \
+         \"total_cycles_per_run\": {total},\n    \
+         \"optimized_cycles_per_sec\": {ocps:.1},\n    \
+         \"reference_cycles_per_sec\": {rcps:.1},\n    \
+         \"speedup\": {espeed:.3}\n  }},\n  \"sweep\": {{\n    \
+         \"n\": {sweep_n},\n    \"points\": {points},\n    \"workers\": {workers},\n    \
+         \"serial_points_per_sec\": {spps:.2},\n    \
+         \"parallel_points_per_sec\": {ppps:.2},\n    \
+         \"speedup\": {sspeed:.3}\n  }}\n}}\n",
+        total = engine.total_cycles,
+        ocps = engine.optimized_cps,
+        rcps = engine.reference_cps,
+        espeed = engine.optimized_cps / engine.reference_cps,
+        points = sweep.points,
+        workers = sweep.workers,
+        spps = sweep.serial_pps,
+        ppps = sweep.parallel_pps,
+        sspeed = sweep.parallel_pps / sweep.serial_pps,
+    )
+}
+
+/// `mbus bench`.
+pub fn bench(args: &Args) -> Result<(), String> {
+    let n = args.get_or("n", 32usize)?;
+    let b = args.get_or("b", 8usize)?;
+    let cycles = args.get_or("cycles", 200_000u64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let reps = args.get_or("reps", 5usize)?;
+    let sweep_n = args.get_or("sweep-n", 64usize)?;
+    let out = args.get_or("out", "BENCH_sim.json".to_owned())?;
+
+    println!("engine: {n}x{n}x{b} full, hierarchical, r = 1.0, resubmission, {cycles} cycles");
+    let engine = engine_benchmark(n, b, cycles, seed, reps)?;
+    println!(
+        "  optimized: {:>12.0} cycles/sec\n  reference: {:>12.0} cycles/sec\n  speedup:   {:>12.2}x",
+        engine.optimized_cps,
+        engine.reference_cps,
+        engine.optimized_cps / engine.reference_cps
+    );
+
+    println!("\nsweep: {sweep_n} full-connection points at N = {sweep_n}, hierarchical, r = 1.0");
+    let sweep = sweep_benchmark(sweep_n, reps)?;
+    println!(
+        "  serial:    {:>12.1} points/sec\n  parallel:  {:>12.1} points/sec ({} workers)\n  speedup:   {:>12.2}x",
+        sweep.serial_pps,
+        sweep.parallel_pps,
+        sweep.workers,
+        sweep.parallel_pps / sweep.serial_pps
+    );
+
+    let json = render_json(n, b, cycles, seed, &engine, sweep_n, &sweep);
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_benchmark_runs_and_engines_agree() {
+        // Tiny run: the point is the equivalence check and the plumbing,
+        // not the numbers.
+        let result = engine_benchmark(8, 4, 500, 7, 1).unwrap();
+        assert_eq!(result.total_cycles, 525);
+        assert!(result.optimized_cps > 0.0);
+        assert!(result.reference_cps > 0.0);
+    }
+
+    #[test]
+    fn sweep_benchmark_runs_and_sweeps_agree() {
+        let result = sweep_benchmark(8, 1).unwrap();
+        assert_eq!(result.points, 8);
+        assert!(result.serial_pps > 0.0);
+        assert!(result.parallel_pps > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let engine = EngineResult {
+            total_cycles: 210_000,
+            optimized_cps: 2.0e6,
+            reference_cps: 1.0e6,
+        };
+        let sweep = SweepResult {
+            points: 64,
+            workers: 8,
+            serial_pps: 10.0,
+            parallel_pps: 40.0,
+        };
+        let json = render_json(32, 8, 200_000, 42, &engine, 64, &sweep);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"speedup\": 4.000"));
+        assert!(json.contains("\"optimized_cycles_per_sec\": 2000000.0"));
+    }
+}

@@ -5,6 +5,7 @@
 //! emits the EXPERIMENTS report. Run `mbus help` for usage.
 
 mod args;
+mod bench;
 mod commands;
 
 use args::Args;
@@ -35,6 +36,11 @@ COMMANDS:
                           [--fail bus@cycle[,bus@cycle...]]
     validate              compare analysis vs exact vs simulation on a grid
     experiments           print the EXPERIMENTS.md report (paper vs computed)
+    bench                 throughput harness: optimized vs reference engine
+                          (cycles/sec) and serial vs parallel sweep
+                          (points/sec); writes BENCH_sim.json
+                          [--n 32] [--b 8] [--cycles 200000] [--seed 42]
+                          [--reps 5] [--sweep-n 64] [--out BENCH_sim.json]
     help                  show this message
 
 EXAMPLES:
@@ -57,6 +63,7 @@ fn main() -> ExitCode {
         "sweep" => commands::sweep(&args),
         "validate" => commands::validate(&args),
         "experiments" => commands::experiments(),
+        "bench" => bench::bench(&args),
         "help" | "" => {
             print!("{HELP}");
             Ok(())

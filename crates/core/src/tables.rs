@@ -5,11 +5,16 @@
 //! printed value (from [`crate::reference`]), and returns a [`PaperTable`]
 //! that renders to markdown/CSV and knows its own worst deviation. The
 //! `figures()` function re-draws the paper's four topology diagrams.
+//!
+//! Table blocks are independent `(N, r)` grids, so regeneration shards them
+//! over [`mbus_stats::parallel::parallel_map`]; results are identical to a
+//! serial evaluation (same cells, same order, same floating-point values).
 
 use crate::paper_params;
 use crate::reference::{self, ReferenceBlock};
 use crate::report;
 use mbus_analysis::memory_bandwidth;
+use mbus_stats::parallel::{available_workers, parallel_map};
 use mbus_topology::{render, BusNetwork, ConnectionScheme, SchemeCostRow};
 use mbus_workload::{RequestModel, UniformModel};
 use serde::{Deserialize, Serialize};
@@ -116,70 +121,68 @@ fn build_table(
     id: &'static str,
     title: &str,
     refs: Vec<ReferenceBlock>,
-    scheme_at: impl Fn(usize, usize) -> ConnectionScheme,
+    scheme_at: impl Fn(usize, usize) -> ConnectionScheme + Sync,
     with_crossbar: bool,
 ) -> PaperTable {
-    let blocks = refs
-        .into_iter()
-        .map(|block| {
-            // Materialize each model's request matrix once per block, not
-            // once per cell.
-            let hier_model = paper_params::hierarchical(block.n)
-                .expect("paper sizes divide into clusters")
-                .matrix();
-            let unif_model = UniformModel::new(block.n, block.n)
-                .expect("positive sizes")
-                .matrix();
-            let cells = block
-                .cells
-                .iter()
-                .map(|cell| ComputedCell {
-                    buses: cell.buses,
-                    hier: bandwidth_for(
-                        scheme_at(block.n, cell.buses),
-                        block.n,
-                        cell.buses,
-                        &hier_model,
-                        block.r,
-                    ),
-                    unif: bandwidth_for(
-                        scheme_at(block.n, cell.buses),
-                        block.n,
-                        cell.buses,
-                        &unif_model,
-                        block.r,
-                    ),
-                    hier_ref: cell.hier,
-                    unif_ref: cell.unif,
-                })
-                .collect();
-            let crossbar = with_crossbar.then(|| {
-                (
-                    bandwidth_for(
-                        ConnectionScheme::Crossbar,
-                        block.n,
-                        block.n,
-                        &hier_model,
-                        block.r,
-                    ),
-                    bandwidth_for(
-                        ConnectionScheme::Crossbar,
-                        block.n,
-                        block.n,
-                        &unif_model,
-                        block.r,
-                    ),
-                )
-            });
-            ComputedBlock {
-                n: block.n,
-                r: block.r,
-                cells,
-                crossbar,
-                crossbar_ref: block.crossbar,
-            }
-        })
-        .collect();
+    let scheme_at = &scheme_at;
+    let blocks = parallel_map(refs, available_workers(), |block| {
+        // Materialize each model's request matrix once per block, not
+        // once per cell.
+        let hier_model = paper_params::hierarchical(block.n)
+            .expect("paper sizes divide into clusters")
+            .matrix();
+        let unif_model = UniformModel::new(block.n, block.n)
+            .expect("positive sizes")
+            .matrix();
+        let cells = block
+            .cells
+            .iter()
+            .map(|cell| ComputedCell {
+                buses: cell.buses,
+                hier: bandwidth_for(
+                    scheme_at(block.n, cell.buses),
+                    block.n,
+                    cell.buses,
+                    &hier_model,
+                    block.r,
+                ),
+                unif: bandwidth_for(
+                    scheme_at(block.n, cell.buses),
+                    block.n,
+                    cell.buses,
+                    &unif_model,
+                    block.r,
+                ),
+                hier_ref: cell.hier,
+                unif_ref: cell.unif,
+            })
+            .collect();
+        let crossbar = with_crossbar.then(|| {
+            (
+                bandwidth_for(
+                    ConnectionScheme::Crossbar,
+                    block.n,
+                    block.n,
+                    &hier_model,
+                    block.r,
+                ),
+                bandwidth_for(
+                    ConnectionScheme::Crossbar,
+                    block.n,
+                    block.n,
+                    &unif_model,
+                    block.r,
+                ),
+            )
+        });
+        ComputedBlock {
+            n: block.n,
+            r: block.r,
+            cells,
+            crossbar,
+            crossbar_ref: block.crossbar,
+        }
+    });
     PaperTable {
         id,
         title: title.to_owned(),

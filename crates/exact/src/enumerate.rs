@@ -10,12 +10,15 @@
 //! the expectation of the service count at the end.
 
 use crate::ExactError;
-use mbus_topology::{BusNetwork, ConnectionScheme};
+use mbus_topology::{BusNetwork, ConnectionScheme, ServedTable};
 use mbus_workload::RequestMatrix;
 
 /// Maximum number of memories supported by the bitmask enumeration
 /// (`2^20` probability slots ≈ 8 MiB).
 pub const MAX_MEMORIES: usize = 20;
+
+// The enumeration and the served-set table must agree on the mask width.
+const _: () = assert!(MAX_MEMORIES == mbus_topology::MAX_TABLE_MEMORIES);
 
 /// The number of requests served in one cycle, given the set of memories
 /// with at least one pending request — the deterministic outcome of the
@@ -144,17 +147,15 @@ pub fn exact_bandwidth(
         std::mem::swap(&mut dp, &mut next);
     }
 
-    let mut requested = vec![false; m];
-    let mut expectation = 0.0;
-    for (mask, &prob) in dp.iter().enumerate() {
-        if prob == 0.0 {
-            continue;
-        }
-        for (j, slot) in requested.iter_mut().enumerate() {
-            *slot = mask & (1 << j) != 0;
-        }
-        expectation += prob * served_given_requested(net, &requested) as f64;
-    }
+    // Fold the expectation through the tabulated served counts: one `u8`
+    // load per mask instead of rebuilding a boolean vector and re-deriving
+    // the scheme outcome (`M ≤ MAX_MEMORIES` guarantees the table fits).
+    let table = ServedTable::build(net).expect("M <= MAX_MEMORIES fits the served table");
+    let expectation = dp
+        .iter()
+        .zip(table.as_slice())
+        .map(|(&prob, &served)| prob * served as f64)
+        .sum();
     Ok(expectation)
 }
 

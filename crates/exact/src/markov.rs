@@ -20,7 +20,7 @@
 
 use crate::ExactError;
 use mbus_stats::prob::choose;
-use mbus_topology::{BusNetwork, SchemeKind};
+use mbus_topology::{BusNetwork, SchemeKind, ServedTable};
 use mbus_workload::RequestMatrix;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -89,6 +89,11 @@ pub fn resubmission_steady_state(
             limit: MAX_STATES,
         })?;
     let capacity = net.capacity();
+    // Shared served-set table: the chain state bound keeps M tiny in
+    // practice, but an N = 1 network can have M > MAX_TABLE_MEMORIES, so
+    // fall back to the closed form (exact for full/crossbar) when it
+    // doesn't fit.
+    let served_table = ServedTable::build(net).ok();
 
     // Encode state: digit p = 0 for "no pending", j+1 for "pending on j".
     let decode = |mut s: usize| -> Vec<Option<usize>> {
@@ -141,7 +146,13 @@ pub fn resubmission_steady_state(
                 }
                 let requested: Vec<usize> = (0..m).filter(|&j| !requesters[j].is_empty()).collect();
                 let d_count = requested.len();
-                let served_count = d_count.min(capacity);
+                let served_count = match &served_table {
+                    Some(table) => {
+                        let mask = requested.iter().fold(0u64, |acc, &j| acc | (1 << j));
+                        table.served(mask)
+                    }
+                    None => d_count.min(capacity),
+                };
                 served_expectation[s] += prob * served_count as f64;
                 // Enumerate served subsets uniformly.
                 let subsets = subsets_of_size(&requested, served_count);

@@ -1,0 +1,68 @@
+//! Property tests: the precomputed served-set lookup table must agree with
+//! the exact per-mask oracle `served_given_requested` on every scheme.
+//!
+//! The two implementations are independent: the oracle walks the scheme
+//! definitions memory by memory, while [`ServedTable`] evaluates bitmask
+//! plans (interval unions for K classes, per-group popcounts, …), so
+//! agreement over random masks is a real cross-check, not a tautology.
+
+use mbus_exact::enumerate::served_given_requested;
+use mbus_topology::{served_count, BusNetwork, ConnectionScheme, ServedTable};
+use proptest::prelude::*;
+
+fn networks() -> Vec<BusNetwork> {
+    vec![
+        BusNetwork::new(12, 12, 1, ConnectionScheme::Crossbar).unwrap(),
+        BusNetwork::new(12, 12, 5, ConnectionScheme::Full).unwrap(),
+        BusNetwork::new(12, 12, 4, ConnectionScheme::balanced_single(12, 4).unwrap()).unwrap(),
+        BusNetwork::new(12, 12, 4, ConnectionScheme::PartialGroups { groups: 4 }).unwrap(),
+        BusNetwork::new(12, 12, 5, ConnectionScheme::uniform_classes(12, 3).unwrap()).unwrap(),
+        // Unbalanced classes exercise the interval-union arithmetic.
+        BusNetwork::new(
+            12,
+            12,
+            6,
+            ConnectionScheme::KClasses {
+                class_sizes: vec![1, 2, 9],
+            },
+        )
+        .unwrap(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn table_matches_exact_oracle(idx in 0usize..6, raw_mask in any::<u64>()) {
+        let nets = networks();
+        let net = &nets[idx];
+        let m = net.memories();
+        let mask = raw_mask & ((1u64 << m) - 1);
+
+        let mut requested = vec![false; m];
+        for (j, slot) in requested.iter_mut().enumerate() {
+            *slot = mask & (1 << j) != 0;
+        }
+        let oracle = served_given_requested(net, &requested);
+
+        let table = ServedTable::build(net).unwrap();
+        prop_assert_eq!(table.served(mask), oracle, "table vs oracle on {}", net);
+        // The single-mask entry point must agree with both.
+        prop_assert_eq!(served_count(net, mask), oracle);
+    }
+
+    #[test]
+    fn served_is_monotone_in_requests(idx in 0usize..6, raw_mask in any::<u64>(), drop_bit in 0usize..12) {
+        // Removing one requested memory can only lower the served count,
+        // and by at most one.
+        let nets = networks();
+        let net = &nets[idx];
+        let m = net.memories();
+        let mask = raw_mask & ((1u64 << m) - 1);
+        prop_assume!(mask & (1 << drop_bit) != 0);
+        let table = ServedTable::build(net).unwrap();
+        let with = table.served(mask);
+        let without = table.served(mask & !(1 << drop_bit));
+        prop_assert!(without <= with);
+        prop_assert!(with - without <= 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Rough per-phase cost breakdown of the simulation cycle on the benchmark
+//! configuration (32×32×8 full, hierarchical, r = 1, resubmission).
+//!
+//! Run with `cargo run --release -p mbus-sim --example profile_cycle`.
+
+use mbus_sim::{SimConfig, Simulator};
+use mbus_topology::{BusNetwork, ConnectionScheme};
+use mbus_workload::{HierarchicalModel, RequestModel, WorkloadSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let n = 32;
+    let matrix = HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+        .unwrap()
+        .matrix();
+    let net = BusNetwork::new(n, n, 8, ConnectionScheme::Full).unwrap();
+    let cycles = 2_000_000u64;
+
+    // Raw RNG draws.
+    let mut rng = StdRng::seed_from_u64(1);
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..cycles {
+        for _ in 0..36 {
+            acc = acc.wrapping_add(rng.random_range(0..32usize) as u64);
+        }
+    }
+    println!(
+        "36 range draws/cycle: {:6.1} ns/cycle (sink {acc})",
+        start.elapsed().as_secs_f64() * 1e9 / cycles as f64
+    );
+
+    // Sampling only.
+    let sampler = WorkloadSampler::new(&matrix, 1.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..cycles {
+        for p in 0..n {
+            acc += sampler.sample_processor(p, &mut rng).unwrap_or(0);
+        }
+    }
+    println!(
+        "32 samples/cycle:     {:6.1} ns/cycle (sink {acc})",
+        start.elapsed().as_secs_f64() * 1e9 / cycles as f64
+    );
+
+    // Full steps without a collector.
+    let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+    sim.reset(42);
+    sim.set_resubmission(true);
+    let sim_cycles = 1_000_000u64;
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..sim_cycles {
+        acc += sim.step().grants.len();
+    }
+    println!(
+        "bare step():          {:6.1} ns/cycle (sink {acc})",
+        start.elapsed().as_secs_f64() * 1e9 / sim_cycles as f64
+    );
+
+    // Full run (collector included).
+    let config = SimConfig::new(sim_cycles)
+        .with_warmup(0)
+        .with_seed(42)
+        .with_resubmission(true);
+    let start = Instant::now();
+    let report = sim.run(&config);
+    println!(
+        "run() w/ collector:   {:6.1} ns/cycle (bw {:.3})",
+        start.elapsed().as_secs_f64() * 1e9 / sim_cycles as f64,
+        report.bandwidth.mean()
+    );
+}

@@ -17,12 +17,25 @@
 //!
 //! All policies honor a [`FaultMask`]: failed buses grant nothing, and
 //! memories with no surviving bus cannot be served.
+//!
+//! # Performance
+//!
+//! [`Stage2State`] owns every scratch vector the policies need, so a cycle
+//! in steady state performs no heap allocation. When `M ≤ 64` the engine
+//! also hands over the requested-set bitmask, which lets the non-random
+//! policies skip empty buses/groups/classes with one `AND`, and — on a
+//! fault-free full-connection network — terminate the grant scan as soon as
+//! the [`ServedTable`]'s precomputed served count is reached. Every fast
+//! path is *draw-order neutral*: it only skips work that consumes no
+//! randomness and mutates no state, so reports stay bit-identical to the
+//! reference engine (see `crate::reference`).
 
 use crate::engine::Grant;
-use mbus_topology::{BusNetwork, ConnectionScheme, FaultMask};
-use rand::{Rng, RngExt};
+use mbus_topology::{BusNetwork, ConnectionScheme, FaultMask, ServedTable, MAX_TABLE_MEMORIES};
+use rand::Rng;
 
-/// Rotating pointers that give the round-robin arbiters long-run fairness.
+/// Rotating pointers that give the round-robin arbiters long-run fairness,
+/// plus reusable scratch buffers and precomputed fast-path data.
 #[derive(Debug, Clone)]
 pub(crate) struct Stage2State {
     /// Full scheme: scan start over memory indices.
@@ -33,29 +46,105 @@ pub(crate) struct Stage2State {
     rr_per_bus: Vec<usize>,
     /// Partial scheme: per-group scan start (relative to the group).
     rr_group: Vec<usize>,
+    /// Scratch: alive buses (full scheme) or alive group buses (partial).
+    alive: Vec<usize>,
+    /// Scratch: requested memories of the current class (K classes).
+    requested: Vec<usize>,
+    /// Scratch: the current class's alive buses, top-down (K classes).
+    alive_desc: Vec<usize>,
+    /// Scratch: per-bus `(memory, processor)` contenders (K classes).
+    contenders: Vec<Vec<(usize, usize)>>,
+    /// Served-count table for the fault-free full-connection fast path
+    /// (`None` when `M > MAX_TABLE_MEMORIES` or the scheme never uses it).
+    table: Option<ServedTable>,
+    /// Single scheme, `M ≤ 64`: bitmask of each bus's memories.
+    bus_masks: Vec<u64>,
+    /// Partial scheme, `M ≤ 64`: bitmask of each group's memories.
+    group_masks: Vec<u64>,
+    /// K classes, `M ≤ 64`: bitmask of each class's memories.
+    class_masks: Vec<u64>,
 }
 
 impl Stage2State {
     pub(crate) fn new(net: &BusNetwork) -> Self {
         let groups = net.group_count().unwrap_or(0);
+        let m = net.memories();
+        let masks_fit = m <= 64;
+        let table = if matches!(net.scheme(), ConnectionScheme::Full) && m <= MAX_TABLE_MEMORIES {
+            ServedTable::build(net).ok()
+        } else {
+            None
+        };
+        let bus_masks = if masks_fit && matches!(net.scheme(), ConnectionScheme::Single { .. }) {
+            (0..net.buses())
+                .map(|bus| net.memories_of_bus(bus).fold(0u64, |acc, j| acc | (1 << j)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let group_masks = if masks_fit && groups > 0 {
+            let per_mem = m / groups;
+            (0..groups)
+                .map(|q| (q * per_mem..(q + 1) * per_mem).fold(0u64, |acc, j| acc | (1 << j)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let class_masks = match net.scheme() {
+            ConnectionScheme::KClasses { class_sizes } if masks_fit => (0..class_sizes.len())
+                .map(|c| {
+                    net.memories_of_class(c)
+                        .expect("validated K-class")
+                        .fold(0u64, |acc, j| acc | (1 << j))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         Self {
             rr_memory: 0,
             rr_bus: 0,
             rr_per_bus: vec![0; net.buses()],
             rr_group: vec![0; groups],
+            alive: Vec::with_capacity(net.buses()),
+            requested: Vec::with_capacity(m),
+            alive_desc: Vec::with_capacity(net.buses()),
+            // Each class contributes at most one contender per bus.
+            contenders: (0..net.buses())
+                .map(|_| Vec::with_capacity(net.class_count().unwrap_or(0)))
+                .collect(),
+            table,
+            bus_masks,
+            group_masks,
+            class_masks,
         }
+    }
+
+    /// Rewinds the rotating pointers to the post-construction state without
+    /// dropping scratch capacity or precomputed tables.
+    pub(crate) fn reset(&mut self) {
+        self.rr_memory = 0;
+        self.rr_bus = 0;
+        self.rr_per_bus.iter_mut().for_each(|p| *p = 0);
+        self.rr_group.iter_mut().for_each(|p| *p = 0);
     }
 }
 
 /// Runs stage-2 arbitration for one cycle.
 ///
 /// `winners[j]` is the stage-1 winning processor for memory `j` (or `None`
-/// if nobody requested `j`). Grants are appended to `out`.
+/// if nobody requested `j`). `requested_mask` has bit `j` set iff
+/// `winners[j]` is `Some` — only meaningful when `masks_valid` (`M ≤ 64`).
+/// `all_alive` asserts the fault mask has no failures. Grants are appended
+/// to `out`.
+#[allow(clippy::too_many_arguments)] // one call site, in the engine
 pub(crate) fn grant_buses<R: Rng + ?Sized>(
     net: &BusNetwork,
     mask: &FaultMask,
     bus_memories: &[Vec<usize>],
     winners: &[Option<usize>],
+    requested_mask: u64,
+    masks_valid: bool,
+    all_alive: bool,
     state: &mut Stage2State,
     rng: &mut R,
     out: &mut Vec<Grant>,
@@ -76,25 +165,67 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
             let m = net.memories();
             // Alive buses, rotated for fairness of *which* bus carries which
             // request (bandwidth-neutral, utilization-relevant).
-            let mut alive: Vec<usize> = mask.iter_alive().collect();
-            if alive.is_empty() {
+            state.alive.clear();
+            state.alive.extend(mask.iter_alive());
+            if state.alive.is_empty() {
                 return;
             }
-            let rot = state.rr_bus % alive.len();
-            alive.rotate_left(rot);
-            let mut granted = 0usize;
-            for offset in 0..m {
-                if granted == alive.len() {
-                    break;
+            let rot = state.rr_bus % state.alive.len();
+            state.alive.rotate_left(rot);
+            // Fault-free: the served count is known up front (table lookup,
+            // or popcount-capped-at-B, which is the full scheme's closed
+            // form), so the scan stops at the last grant instead of walking
+            // all M memories.
+            let limit = if masks_valid && all_alive {
+                match &state.table {
+                    Some(table) => table.served(requested_mask),
+                    None => (requested_mask.count_ones() as usize).min(state.alive.len()),
                 }
-                let memory = (state.rr_memory + offset) % m;
-                if let Some(processor) = winners[memory] {
-                    out.push(Grant {
-                        processor,
-                        memory,
-                        bus: Some(alive[granted]),
-                    });
-                    granted += 1;
+            } else {
+                state.alive.len()
+            };
+            let mut granted = 0usize;
+            if masks_valid {
+                // Visit the requested memories cyclically from the scan
+                // pointer by splitting the mask at it — same order as the
+                // dense scan, without its data-dependent winner branches
+                // (`rr_memory < m ≤ 64`, so the shift cannot overflow).
+                let below_pointer = (1u64 << state.rr_memory) - 1;
+                for part in [
+                    requested_mask & !below_pointer,
+                    requested_mask & below_pointer,
+                ] {
+                    let mut bits = part;
+                    while bits != 0 && granted < limit {
+                        let memory = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let processor = winners[memory].expect("requested memory has a winner");
+                        out.push(Grant {
+                            processor,
+                            memory,
+                            bus: Some(state.alive[granted]),
+                        });
+                        granted += 1;
+                    }
+                }
+            } else {
+                let mut memory = state.rr_memory;
+                for _ in 0..m {
+                    if granted == limit {
+                        break;
+                    }
+                    if let Some(processor) = winners[memory] {
+                        out.push(Grant {
+                            processor,
+                            memory,
+                            bus: Some(state.alive[granted]),
+                        });
+                        granted += 1;
+                    }
+                    memory += 1;
+                    if memory == m {
+                        memory = 0;
+                    }
                 }
             }
             state.rr_memory = (state.rr_memory + 1) % m;
@@ -102,6 +233,11 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
         }
         ConnectionScheme::Single { .. } => {
             for bus in mask.iter_alive() {
+                // A bus none of whose memories are requested grants nothing
+                // and moves no pointer: skip the scan outright.
+                if masks_valid && state.bus_masks[bus] & requested_mask == 0 {
+                    continue;
+                }
                 let mems = &bus_memories[bus];
                 if mems.is_empty() {
                     continue;
@@ -127,15 +263,24 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
             let per_mem = net.memories() / g;
             let per_bus = net.buses() / g;
             for q in 0..g {
-                let alive: Vec<usize> = (q * per_bus..(q + 1) * per_bus)
-                    .filter(|&bus| mask.is_alive(bus))
-                    .collect();
-                if alive.is_empty() {
+                // Fault-free group with no requests: the scan would grant
+                // nothing and advance the pointer — do just that. (Under
+                // faults the pointer only advances when the group has an
+                // alive bus, so the skip is gated on `all_alive`.)
+                if masks_valid && all_alive && state.group_masks[q] & requested_mask == 0 {
+                    state.rr_group[q] = (state.rr_group[q] + 1) % per_mem;
+                    continue;
+                }
+                state.alive.clear();
+                state
+                    .alive
+                    .extend((q * per_bus..(q + 1) * per_bus).filter(|&bus| mask.is_alive(bus)));
+                if state.alive.is_empty() {
                     continue;
                 }
                 let mut granted = 0usize;
                 for offset in 0..per_mem {
-                    if granted == alive.len() {
+                    if granted == state.alive.len() {
                         break;
                     }
                     let memory = q * per_mem + (state.rr_group[q] + offset) % per_mem;
@@ -143,7 +288,7 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
                         out.push(Grant {
                             processor,
                             memory,
-                            bus: Some(alive[granted]),
+                            bus: Some(state.alive[granted]),
                         });
                         granted += 1;
                     }
@@ -156,34 +301,46 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
             // Step 1: per class, select up to cap requested modules and
             // assign them to the class's alive buses from the top down.
             // contenders[bus] collects (memory, processor) pairs.
-            let mut contenders: Vec<Vec<(usize, usize)>> = vec![Vec::new(); net.buses()];
+            for list in &mut state.contenders {
+                list.clear();
+            }
             for c in 0..k {
+                // Class with no requests: identical to the empty-`requested`
+                // continue below, minus the walk over its memory range.
+                if masks_valid && state.class_masks[c] & requested_mask == 0 {
+                    continue;
+                }
                 let range = net.memories_of_class(c).expect("validated K-class");
-                let mut requested: Vec<usize> = range.filter(|&j| winners[j].is_some()).collect();
-                if requested.is_empty() {
+                state.requested.clear();
+                state
+                    .requested
+                    .extend(range.filter(|&j| winners[j].is_some()));
+                if state.requested.is_empty() {
                     continue;
                 }
                 let top = net.kclass_bus_count(c); // buses 0..top (exclusive)
-                let alive_desc: Vec<usize> =
-                    (0..top).rev().filter(|&bus| mask.is_alive(bus)).collect();
-                if alive_desc.is_empty() {
+                state.alive_desc.clear();
+                state
+                    .alive_desc
+                    .extend((0..top).rev().filter(|&bus| mask.is_alive(bus)));
+                if state.alive_desc.is_empty() {
                     continue;
                 }
-                let cap = alive_desc.len().min(requested.len());
+                let cap = state.alive_desc.len().min(state.requested.len());
                 // Fair selection: random `cap`-subset via partial
                 // Fisher–Yates (the paper leaves the choice unspecified).
                 for i in 0..cap {
-                    let j = rng.random_range(i..requested.len());
-                    requested.swap(i, j);
+                    let j = rng.random_range(i..state.requested.len());
+                    state.requested.swap(i, j);
                 }
-                for (slot, &memory) in requested[..cap].iter().enumerate() {
-                    let bus = alive_desc[slot];
+                for (slot, &memory) in state.requested[..cap].iter().enumerate() {
+                    let bus = state.alive_desc[slot];
                     let processor = winners[memory].expect("selected above");
-                    contenders[bus].push((memory, processor));
+                    state.contenders[bus].push((memory, processor));
                 }
             }
             // Step 2: each bus arbiter picks one contender at random.
-            for (bus, list) in contenders.iter().enumerate() {
+            for (bus, list) in state.contenders.iter().enumerate() {
                 if list.is_empty() {
                     continue;
                 }
@@ -219,11 +376,19 @@ mod tests {
     ) -> Vec<Grant> {
         let mut rng = StdRng::seed_from_u64(1);
         let mut out = Vec::new();
+        let requested_mask = winners
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_some())
+            .fold(0u64, |acc, (j, _)| acc | (1 << j));
         grant_buses(
             net,
             mask,
             &bus_memories(net),
             winners,
+            requested_mask,
+            winners.len() <= 64,
+            mask.failed_count() == 0,
             state,
             &mut rng,
             &mut out,
@@ -329,6 +494,29 @@ mod tests {
     }
 
     #[test]
+    fn partial_empty_group_still_rotates_pointer() {
+        // Group 1 idle for a few cycles, then requested: its pointer must
+        // have kept rotating exactly as the reference engine's does.
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap();
+        let mask = FaultMask::none(4);
+        let mut fast = Stage2State::new(&net);
+        let mut winners = vec![None; 8];
+        winners[0] = Some(0);
+        for _ in 0..3 {
+            let _ = run(&net, &mask, &winners, &mut fast);
+        }
+        // After 3 rotations the group-1 pointer sits at 3 % 4 = 3, so with
+        // all of group 1 requested, memory 4 + 3 = 7 is scanned first.
+        winners[4] = Some(4);
+        winners[5] = Some(5);
+        winners[6] = Some(6);
+        winners[7] = Some(7);
+        let grants = run(&net, &mask, &winners, &mut fast);
+        let group1_first = grants.iter().find(|g| g.memory >= 4).unwrap();
+        assert_eq!(group1_first.memory, 7);
+    }
+
+    #[test]
     fn kclass_spills_down_and_respects_caps() {
         // Fig. 3-like: 6 memories in 3 classes, 4 buses.
         let net =
@@ -382,5 +570,23 @@ mod tests {
         let grants = run(&net, &mask, &winners, &mut state);
         assert_eq!(grants.len(), 4);
         assert!(grants.iter().all(|g| g.bus.is_none()));
+    }
+
+    #[test]
+    fn full_limit_fast_path_matches_reference_scan() {
+        // Sparse winners on a fault-free full network: the table-limited
+        // scan must produce the same grants as a limitless scan would.
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
+        let mask = FaultMask::none(4);
+        let mut state = Stage2State::new(&net);
+        let mut winners = vec![None; 8];
+        winners[6] = Some(6);
+        for cycle in 0..8 {
+            let grants = run(&net, &mask, &winners, &mut state);
+            assert_eq!(grants.len(), 1, "cycle {cycle}");
+            assert_eq!(grants[0].memory, 6);
+            // Bus rotation still advances every cycle.
+            assert_eq!(grants[0].bus, Some(cycle % 4));
+        }
     }
 }

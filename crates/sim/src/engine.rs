@@ -36,6 +36,29 @@ pub struct CycleOutcome {
     pub waits: Vec<u64>,
 }
 
+impl CycleOutcome {
+    /// Rewinds the outcome for the next cycle, keeping vector capacity.
+    fn clear(&mut self) {
+        self.issued = 0;
+        self.active = 0;
+        self.unreachable = 0;
+        self.grants.clear();
+        self.waits.clear();
+    }
+
+    /// An outcome with capacity for the worst cycle of an `N × M` system
+    /// (at most `min(N, M)` grants), so steady-state stepping never grows
+    /// it.
+    fn with_capacity(net: &BusNetwork) -> Self {
+        let worst = net.processors().min(net.memories());
+        Self {
+            grants: Vec::with_capacity(worst),
+            waits: Vec::with_capacity(worst),
+            ..Self::default()
+        }
+    }
+}
+
 /// A resubmission-mode in-flight request.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
@@ -51,6 +74,13 @@ struct Pending {
 /// assumptions 1–5 (§III-A) hold by default; resubmission mode relaxes
 /// assumption 5.
 ///
+/// The simulator owns every buffer a cycle needs — including the
+/// [`CycleOutcome`] that [`Simulator::step`] returns by reference — so the
+/// steady-state hot loop performs **no heap allocation** (verified by the
+/// `alloc` integration test). `crate::reference::ReferenceSimulator`
+/// preserves the pre-optimization engine; the golden tests require both to
+/// emit byte-identical reports.
+///
 /// Cloning produces a simulator with identical configuration but *fresh*
 /// RNG and arbitration state (call [`Simulator::reset`] with a seed before
 /// use) — `StdRng` is deliberately not cloneable, and replications want
@@ -65,10 +95,14 @@ pub struct Simulator {
     bus_memories: Vec<Vec<usize>>,
     resubmission: bool,
     pending: Vec<Option<Pending>>,
+    /// Whether `M ≤ 64`, i.e. requested sets fit one `u64` bitmask.
+    masks_valid: bool,
     // Scratch buffers reused across cycles.
     destinations: Vec<Option<usize>>,
     requesters: Vec<Vec<usize>>,
     winners: Vec<Option<usize>>,
+    served: Vec<bool>,
+    outcome: CycleOutcome,
 }
 
 impl Clone for Simulator {
@@ -82,9 +116,14 @@ impl Clone for Simulator {
             bus_memories: self.bus_memories.clone(),
             resubmission: self.resubmission,
             pending: vec![None; self.net.processors()],
+            masks_valid: self.masks_valid,
             destinations: vec![None; self.net.processors()],
-            requesters: vec![Vec::new(); self.net.memories()],
+            requesters: (0..self.net.memories())
+                .map(|_| Vec::with_capacity(self.net.processors()))
+                .collect(),
             winners: vec![None; self.net.memories()],
+            served: vec![false; self.net.processors()],
+            outcome: CycleOutcome::with_capacity(&self.net),
         }
     }
 }
@@ -124,9 +163,17 @@ impl Simulator {
             rng: StdRng::seed_from_u64(0),
             resubmission: false,
             pending: vec![None; net.processors()],
+            masks_valid: net.memories() <= 64,
             destinations: vec![None; net.processors()],
-            requesters: vec![Vec::new(); net.memories()],
+            // Worst case every processor requests the same memory, so give
+            // each requester list capacity N up front: the hot loop must
+            // never grow a buffer.
+            requesters: (0..net.memories())
+                .map(|_| Vec::with_capacity(net.processors()))
+                .collect(),
             winners: vec![None; net.memories()],
+            served: vec![false; net.processors()],
+            outcome: CycleOutcome::with_capacity(net),
             net: net.clone(),
         })
     }
@@ -158,7 +205,7 @@ impl Simulator {
     /// Reseeds the RNG and clears all arbitration / resubmission state.
     pub fn reset(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
-        self.state = Stage2State::new(&self.net);
+        self.state.reset();
         self.mask = FaultMask::none(self.net.buses());
         self.pending.iter_mut().for_each(|p| *p = None);
     }
@@ -175,25 +222,48 @@ impl Simulator {
     }
 
     /// Advances one cycle and reports what happened.
-    pub fn step(&mut self) -> CycleOutcome {
-        let n = self.net.processors();
-        let mut outcome = CycleOutcome::default();
+    ///
+    /// The returned outcome borrows the simulator's reusable cycle buffer —
+    /// copy out whatever must outlive the next [`Simulator::step`] call.
+    /// Reusing the buffer is what keeps steady-state stepping free of heap
+    /// allocation.
+    pub fn step(&mut self) -> &CycleOutcome {
+        self.outcome.clear();
 
         // 1. Per-processor destinations: resubmitted or freshly sampled.
-        for p in 0..n {
-            let (dest, is_fresh) = match self.pending[p] {
-                Some(pending) if self.resubmission => (Some(pending.memory), false),
-                _ => (self.sampler.sample_processor(p, &mut self.rng), true),
-            };
-            self.destinations[p] = dest;
-            if dest.is_some() {
-                outcome.active += 1;
-                if is_fresh {
-                    outcome.issued += 1;
+        // Counts accumulate in locals (written back once): accumulating
+        // through `self` keeps the counters in memory across the loop and
+        // costs a store/reload per processor.
+        let mut active = 0usize;
+        let mut issued = 0usize;
+        let resubmission = self.resubmission;
+        let sampler = &self.sampler;
+        let rng = &mut self.rng;
+        for (p, (dest_slot, pending_slot)) in self
+            .destinations
+            .iter_mut()
+            .zip(self.pending.iter())
+            .enumerate()
+        {
+            *dest_slot = match pending_slot {
+                Some(pending) if resubmission => {
+                    active += 1;
+                    Some(pending.memory)
                 }
-            }
+                _ => {
+                    let dest = sampler.sample_processor(p, rng);
+                    if dest.is_some() {
+                        active += 1;
+                        issued += 1;
+                    }
+                    dest
+                }
+            };
         }
-        self.arbitrate(outcome)
+        self.outcome.active = active;
+        self.outcome.issued = issued;
+        self.arbitrate();
+        &self.outcome
     }
 
     /// Advances one cycle with externally supplied requests (`requests[p]`
@@ -201,57 +271,95 @@ impl Simulator {
     /// entry point. Resubmission state is ignored: the caller owns the
     /// request stream.
     ///
+    /// Like [`Simulator::step`], the outcome borrows the simulator's
+    /// reusable cycle buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `requests.len() != N` or any destination is out of range.
-    pub fn step_with_requests(&mut self, requests: &[Option<usize>]) -> CycleOutcome {
+    pub fn step_with_requests(&mut self, requests: &[Option<usize>]) -> &CycleOutcome {
         let n = self.net.processors();
         assert_eq!(requests.len(), n, "one request slot per processor");
-        let mut outcome = CycleOutcome::default();
+        self.outcome.clear();
         for (p, &dest) in requests.iter().enumerate() {
             if let Some(j) = dest {
                 assert!(j < self.net.memories(), "memory {j} out of range");
-                outcome.active += 1;
-                outcome.issued += 1;
+                self.outcome.active += 1;
+                self.outcome.issued += 1;
             }
             self.destinations[p] = dest;
             self.pending[p] = None;
         }
-        self.arbitrate(outcome)
+        self.arbitrate();
+        &self.outcome
     }
 
     /// Stages 2–5 of a cycle, shared by [`Simulator::step`] and
     /// [`Simulator::step_with_requests`]: reachability filtering, the two
-    /// arbitration stages, and completion bookkeeping.
-    fn arbitrate(&mut self, mut outcome: CycleOutcome) -> CycleOutcome {
+    /// arbitration stages, and completion bookkeeping. Accumulates into
+    /// `self.outcome`; the whole path reuses simulator-owned buffers.
+    fn arbitrate(&mut self) {
         let n = self.net.processors();
         // 2. Drop requests to unreachable memories (even under
         // resubmission, else a permanent failure deadlocks the processor).
-        for p in 0..n {
-            if let Some(memory) = self.destinations[p] {
-                if !self.reachable(memory) {
-                    outcome.unreachable += 1;
-                    self.destinations[p] = None;
-                    self.pending[p] = None;
+        // With every bus alive nothing can be unreachable (each memory is
+        // wired to at least one bus), so the scan only runs under faults.
+        let all_alive = self.mask.failed_count() == 0;
+        if !all_alive {
+            for p in 0..n {
+                if let Some(memory) = self.destinations[p] {
+                    if !self.reachable(memory) {
+                        self.outcome.unreachable += 1;
+                        self.destinations[p] = None;
+                        self.pending[p] = None;
+                    }
                 }
             }
         }
 
         // 3. Stage 1: per-memory arbiters pick one requester uniformly.
+        // The requested-set bitmask rides along for stage 2's fast paths.
         for list in &mut self.requesters {
             list.clear();
         }
-        for p in 0..n {
-            if let Some(memory) = self.destinations[p] {
+        let masks_valid = self.masks_valid;
+        let procs_fit = n <= 64;
+        let mut requested_mask = 0u64;
+        // Requesting processors as a bitmask (valid when N ≤ 64), consumed
+        // by stage 5's branch-free resubmission walk.
+        let mut requester_bits = 0u64;
+        for (p, dest) in self.destinations.iter().enumerate() {
+            if let Some(memory) = *dest {
                 self.requesters[memory].push(p);
+                if masks_valid {
+                    requested_mask |= 1 << memory;
+                }
+                if procs_fit {
+                    requester_bits |= 1 << p;
+                }
             }
         }
-        for (memory, list) in self.requesters.iter().enumerate() {
-            self.winners[memory] = if list.is_empty() {
-                None
-            } else {
-                Some(list[self.rng.random_range(0..list.len())])
-            };
+        let rng = &mut self.rng;
+        if masks_valid {
+            // Visit exactly the requested memories in ascending (= the
+            // reference's memory) order: same draws, none of the
+            // data-dependent `is_empty` branches of the dense scan.
+            self.winners.iter_mut().for_each(|w| *w = None);
+            let mut bits = requested_mask;
+            while bits != 0 {
+                let memory = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let list = &self.requesters[memory];
+                self.winners[memory] = Some(list[rng.random_range(0..list.len())]);
+            }
+        } else {
+            for (winner_slot, list) in self.winners.iter_mut().zip(self.requesters.iter()) {
+                *winner_slot = if list.is_empty() {
+                    None
+                } else {
+                    Some(list[rng.random_range(0..list.len())])
+                };
+            }
         }
 
         // 4. Stage 2: scheme-specific bus assignment.
@@ -260,33 +368,57 @@ impl Simulator {
             &self.mask,
             &self.bus_memories,
             &self.winners,
+            requested_mask,
+            self.masks_valid,
+            all_alive,
             &mut self.state,
             &mut self.rng,
-            &mut outcome.grants,
+            &mut self.outcome.grants,
         );
 
         // 5. Completion bookkeeping: grants finish; under resubmission every
-        // other requester re-queues with age + 1.
-        let mut served = vec![false; n];
-        for grant in &outcome.grants {
-            served[grant.processor] = true;
-            let age = self.pending[grant.processor].map_or(0, |p| p.age);
-            outcome.waits.push(age);
-            self.pending[grant.processor] = None;
-        }
-        if self.resubmission {
-            #[allow(clippy::needless_range_loop)] // p indexes parallel arrays
-            for p in 0..n {
-                if served[p] {
-                    continue;
-                }
-                if let Some(memory) = self.destinations[p] {
+        // other requester re-queues with age + 1. With N ≤ 64 the served set
+        // lives in one register instead of the `served` byte array.
+        if procs_fit {
+            let mut served_bits = 0u64;
+            for grant in &self.outcome.grants {
+                served_bits |= 1 << grant.processor;
+                let age = self.pending[grant.processor].map_or(0, |p| p.age);
+                self.outcome.waits.push(age);
+                self.pending[grant.processor] = None;
+            }
+            if self.resubmission {
+                // Walk exactly the unserved requesters.
+                let mut retry = requester_bits & !served_bits;
+                while retry != 0 {
+                    let p = retry.trailing_zeros() as usize;
+                    retry &= retry - 1;
+                    let memory = self.destinations[p].expect("bit set only for requesters");
                     let age = self.pending[p].map_or(0, |pending| pending.age) + 1;
                     self.pending[p] = Some(Pending { memory, age });
                 }
             }
+        } else {
+            self.served.iter_mut().for_each(|s| *s = false);
+            for grant in &self.outcome.grants {
+                self.served[grant.processor] = true;
+                let age = self.pending[grant.processor].map_or(0, |p| p.age);
+                self.outcome.waits.push(age);
+                self.pending[grant.processor] = None;
+            }
+            if self.resubmission {
+                #[allow(clippy::needless_range_loop)] // p indexes parallel arrays
+                for p in 0..n {
+                    if self.served[p] {
+                        continue;
+                    }
+                    if let Some(memory) = self.destinations[p] {
+                        let age = self.pending[p].map_or(0, |pending| pending.age) + 1;
+                        self.pending[p] = Some(Pending { memory, age });
+                    }
+                }
+            }
         }
-        outcome
     }
 
     /// Replays a recorded [`mbus_workload::trace::Trace`] against this
@@ -314,7 +446,7 @@ impl Simulator {
                 requests[record.processor] = Some(record.memory);
             }
             let outcome = self.step_with_requests(&requests);
-            collector.record(&outcome);
+            collector.record(outcome);
         }
         collector.finish(&config)
     }
@@ -348,7 +480,7 @@ impl Simulator {
             }
             let outcome = self.step();
             if cycle >= config.warmup {
-                collector.record(&outcome);
+                collector.record(outcome);
             }
         }
         collector.finish(config)
@@ -445,7 +577,7 @@ mod tests {
         for _ in 0..10 {
             let outcome = sim.step();
             assert_eq!(outcome.grants.len(), 1);
-            waits_seen.extend(outcome.waits);
+            waits_seen.extend(outcome.waits.iter().copied());
         }
         assert!(waits_seen.iter().any(|&w| w >= 1), "some request waited");
     }

@@ -50,6 +50,7 @@ mod engine;
 mod error;
 mod fault;
 mod metrics;
+pub mod reference;
 pub mod runner;
 
 pub use config::SimConfig;

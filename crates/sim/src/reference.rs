@@ -1,0 +1,398 @@
+//! The pre-optimization simulation engine, kept verbatim as a baseline.
+//!
+//! [`ReferenceSimulator`] is a frozen copy of [`Simulator`](crate::Simulator)
+//! as it stood before the zero-allocation refactor: it allocates a fresh
+//! [`CycleOutcome`] (and several arbiter scratch vectors) every cycle. It
+//! exists for two reasons:
+//!
+//! * **differential testing** — the golden tests run both engines over the
+//!   same scenarios and require byte-identical [`SimReport`]s, so any drift
+//!   in the optimized hot loop (RNG draw order, arbitration policy,
+//!   bookkeeping) is caught immediately;
+//! * **benchmarking** — the `bench` CLI subcommand measures the optimized
+//!   engine's cycles/sec against this baseline on the same machine.
+//!
+//! Do not "fix" or optimize this module; behavior changes belong in
+//! [`engine`](crate::Simulator) with a deliberate golden-hash update.
+
+use crate::engine::{CycleOutcome, Grant};
+use crate::metrics::Collector;
+use crate::{SimConfig, SimError, SimReport};
+use mbus_topology::{BusNetwork, ConnectionScheme, FaultMask, SchemeKind};
+use mbus_workload::{RequestMatrix, WorkloadSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A resubmission-mode in-flight request.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    memory: usize,
+    age: u64,
+}
+
+/// Rotating pointers of the pre-refactor stage-2 arbiter.
+#[derive(Debug, Clone)]
+struct RefStage2State {
+    rr_memory: usize,
+    rr_bus: usize,
+    rr_per_bus: Vec<usize>,
+    rr_group: Vec<usize>,
+}
+
+impl RefStage2State {
+    fn new(net: &BusNetwork) -> Self {
+        let groups = net.group_count().unwrap_or(0);
+        Self {
+            rr_memory: 0,
+            rr_bus: 0,
+            rr_per_bus: vec![0; net.buses()],
+            rr_group: vec![0; groups],
+        }
+    }
+}
+
+/// The pre-refactor engine: identical policies and RNG draw order to
+/// [`Simulator`](crate::Simulator), with per-cycle allocations intact.
+#[derive(Debug)]
+pub struct ReferenceSimulator {
+    net: BusNetwork,
+    sampler: WorkloadSampler,
+    rng: StdRng,
+    mask: FaultMask,
+    state: RefStage2State,
+    bus_memories: Vec<Vec<usize>>,
+    resubmission: bool,
+    pending: Vec<Option<Pending>>,
+    destinations: Vec<Option<usize>>,
+    requesters: Vec<Vec<usize>>,
+    winners: Vec<Option<usize>>,
+}
+
+impl ReferenceSimulator {
+    /// Builds a reference simulator; same validation as
+    /// [`Simulator::build`](crate::Simulator::build).
+    ///
+    /// # Errors
+    ///
+    /// * dimension mismatches → [`SimError::DimensionMismatch`];
+    /// * invalid `r` → [`SimError::Workload`].
+    pub fn build(net: &BusNetwork, matrix: &RequestMatrix, r: f64) -> Result<Self, SimError> {
+        if net.processors() != matrix.processors() {
+            return Err(SimError::DimensionMismatch {
+                what: "processors",
+                network: net.processors(),
+                workload: matrix.processors(),
+            });
+        }
+        if net.memories() != matrix.memories() {
+            return Err(SimError::DimensionMismatch {
+                what: "memories",
+                network: net.memories(),
+                workload: matrix.memories(),
+            });
+        }
+        let sampler = WorkloadSampler::new(matrix, r)?;
+        let bus_memories = (0..net.buses())
+            .map(|bus| net.memories_of_bus(bus).collect())
+            .collect();
+        Ok(Self {
+            state: RefStage2State::new(net),
+            mask: FaultMask::none(net.buses()),
+            bus_memories,
+            sampler,
+            rng: StdRng::seed_from_u64(0),
+            resubmission: false,
+            pending: vec![None; net.processors()],
+            destinations: vec![None; net.processors()],
+            requesters: vec![Vec::new(); net.memories()],
+            winners: vec![None; net.memories()],
+            net: net.clone(),
+        })
+    }
+
+    /// Enables or disables resubmission semantics for subsequent cycles.
+    pub fn set_resubmission(&mut self, resubmission: bool) {
+        self.resubmission = resubmission;
+        if !resubmission {
+            self.pending.iter_mut().for_each(|p| *p = None);
+        }
+    }
+
+    /// Reseeds the RNG and clears all arbitration / resubmission state.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.state = RefStage2State::new(&self.net);
+        self.mask = FaultMask::none(self.net.buses());
+        self.pending.iter_mut().for_each(|p| *p = None);
+    }
+
+    /// Mutable access to the fault mask, for manual fault injection.
+    pub fn fault_mask_mut(&mut self) -> &mut FaultMask {
+        &mut self.mask
+    }
+
+    fn reachable(&self, memory: usize) -> bool {
+        if self.net.kind() == SchemeKind::Crossbar {
+            return true;
+        }
+        self.net
+            .buses_of_memory(memory)
+            .any(|bus| self.mask.is_alive(bus))
+    }
+
+    /// Advances one cycle, allocating the outcome (the pre-refactor
+    /// contract).
+    pub fn step(&mut self) -> CycleOutcome {
+        let n = self.net.processors();
+        let mut outcome = CycleOutcome::default();
+        for p in 0..n {
+            let (dest, is_fresh) = match self.pending[p] {
+                Some(pending) if self.resubmission => (Some(pending.memory), false),
+                _ => (self.sampler.sample_processor(p, &mut self.rng), true),
+            };
+            self.destinations[p] = dest;
+            if dest.is_some() {
+                outcome.active += 1;
+                if is_fresh {
+                    outcome.issued += 1;
+                }
+            }
+        }
+        self.arbitrate(outcome)
+    }
+
+    fn arbitrate(&mut self, mut outcome: CycleOutcome) -> CycleOutcome {
+        let n = self.net.processors();
+        for p in 0..n {
+            if let Some(memory) = self.destinations[p] {
+                if !self.reachable(memory) {
+                    outcome.unreachable += 1;
+                    self.destinations[p] = None;
+                    self.pending[p] = None;
+                }
+            }
+        }
+
+        for list in &mut self.requesters {
+            list.clear();
+        }
+        for p in 0..n {
+            if let Some(memory) = self.destinations[p] {
+                self.requesters[memory].push(p);
+            }
+        }
+        for (memory, list) in self.requesters.iter().enumerate() {
+            self.winners[memory] = if list.is_empty() {
+                None
+            } else {
+                Some(list[self.rng.random_range(0..list.len())])
+            };
+        }
+
+        ref_grant_buses(
+            &self.net,
+            &self.mask,
+            &self.bus_memories,
+            &self.winners,
+            &mut self.state,
+            &mut self.rng,
+            &mut outcome.grants,
+        );
+
+        let mut served = vec![false; n];
+        for grant in &outcome.grants {
+            served[grant.processor] = true;
+            let age = self.pending[grant.processor].map_or(0, |p| p.age);
+            outcome.waits.push(age);
+            self.pending[grant.processor] = None;
+        }
+        if self.resubmission {
+            #[allow(clippy::needless_range_loop)] // p indexes parallel arrays
+            for p in 0..n {
+                if served[p] {
+                    continue;
+                }
+                if let Some(memory) = self.destinations[p] {
+                    let age = self.pending[p].map_or(0, |pending| pending.age) + 1;
+                    self.pending[p] = Some(Pending { memory, age });
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Runs a full configured simulation, mirroring
+    /// [`Simulator::run`](crate::Simulator::run).
+    pub fn run(&mut self, config: &SimConfig) -> SimReport {
+        config
+            .faults
+            .validate(self.net.buses())
+            .expect("fault schedule must reference valid buses");
+        self.reset(config.seed);
+        self.set_resubmission(config.resubmission);
+        let mut collector = Collector::new(&self.net, config);
+        let total = config.warmup + config.cycles;
+        let mut fault_cursor = 0usize;
+        let events = config.faults.events();
+        for cycle in 0..total {
+            while fault_cursor < events.len() && events[fault_cursor].cycle == cycle {
+                let event = events[fault_cursor];
+                match event.kind {
+                    crate::FaultEventKind::Fail => {
+                        self.mask.fail(event.bus).expect("validated above");
+                    }
+                    crate::FaultEventKind::Repair => {
+                        self.mask.repair(event.bus).expect("validated above");
+                    }
+                }
+                fault_cursor += 1;
+            }
+            let outcome = self.step();
+            if cycle >= config.warmup {
+                collector.record(&outcome);
+            }
+        }
+        collector.finish(config)
+    }
+}
+
+/// The pre-refactor stage-2 arbiter, allocations and all.
+fn ref_grant_buses<R: Rng + ?Sized>(
+    net: &BusNetwork,
+    mask: &FaultMask,
+    bus_memories: &[Vec<usize>],
+    winners: &[Option<usize>],
+    state: &mut RefStage2State,
+    rng: &mut R,
+    out: &mut Vec<Grant>,
+) {
+    match net.scheme() {
+        ConnectionScheme::Crossbar => {
+            for (memory, winner) in winners.iter().enumerate() {
+                if let Some(processor) = *winner {
+                    out.push(Grant {
+                        processor,
+                        memory,
+                        bus: None,
+                    });
+                }
+            }
+        }
+        ConnectionScheme::Full => {
+            let m = net.memories();
+            let mut alive: Vec<usize> = mask.iter_alive().collect();
+            if alive.is_empty() {
+                return;
+            }
+            let rot = state.rr_bus % alive.len();
+            alive.rotate_left(rot);
+            let mut granted = 0usize;
+            for offset in 0..m {
+                if granted == alive.len() {
+                    break;
+                }
+                let memory = (state.rr_memory + offset) % m;
+                if let Some(processor) = winners[memory] {
+                    out.push(Grant {
+                        processor,
+                        memory,
+                        bus: Some(alive[granted]),
+                    });
+                    granted += 1;
+                }
+            }
+            state.rr_memory = (state.rr_memory + 1) % m;
+            state.rr_bus = (state.rr_bus + 1) % net.buses();
+        }
+        ConnectionScheme::Single { .. } => {
+            for bus in mask.iter_alive() {
+                let mems = &bus_memories[bus];
+                if mems.is_empty() {
+                    continue;
+                }
+                let start = state.rr_per_bus[bus] % mems.len();
+                for offset in 0..mems.len() {
+                    let idx = (start + offset) % mems.len();
+                    let memory = mems[idx];
+                    if let Some(processor) = winners[memory] {
+                        out.push(Grant {
+                            processor,
+                            memory,
+                            bus: Some(bus),
+                        });
+                        state.rr_per_bus[bus] = (idx + 1) % mems.len();
+                        break;
+                    }
+                }
+            }
+        }
+        ConnectionScheme::PartialGroups { groups } => {
+            let g = *groups;
+            let per_mem = net.memories() / g;
+            let per_bus = net.buses() / g;
+            for q in 0..g {
+                let alive: Vec<usize> = (q * per_bus..(q + 1) * per_bus)
+                    .filter(|&bus| mask.is_alive(bus))
+                    .collect();
+                if alive.is_empty() {
+                    continue;
+                }
+                let mut granted = 0usize;
+                for offset in 0..per_mem {
+                    if granted == alive.len() {
+                        break;
+                    }
+                    let memory = q * per_mem + (state.rr_group[q] + offset) % per_mem;
+                    if let Some(processor) = winners[memory] {
+                        out.push(Grant {
+                            processor,
+                            memory,
+                            bus: Some(alive[granted]),
+                        });
+                        granted += 1;
+                    }
+                }
+                state.rr_group[q] = (state.rr_group[q] + 1) % per_mem;
+            }
+        }
+        ConnectionScheme::KClasses { class_sizes } => {
+            let k = class_sizes.len();
+            let mut contenders: Vec<Vec<(usize, usize)>> = vec![Vec::new(); net.buses()];
+            for c in 0..k {
+                let range = net.memories_of_class(c).expect("validated K-class");
+                let mut requested: Vec<usize> = range.filter(|&j| winners[j].is_some()).collect();
+                if requested.is_empty() {
+                    continue;
+                }
+                let top = net.kclass_bus_count(c);
+                let alive_desc: Vec<usize> =
+                    (0..top).rev().filter(|&bus| mask.is_alive(bus)).collect();
+                if alive_desc.is_empty() {
+                    continue;
+                }
+                let cap = alive_desc.len().min(requested.len());
+                for i in 0..cap {
+                    let j = rng.random_range(i..requested.len());
+                    requested.swap(i, j);
+                }
+                for (slot, &memory) in requested[..cap].iter().enumerate() {
+                    let bus = alive_desc[slot];
+                    let processor = winners[memory].expect("selected above");
+                    contenders[bus].push((memory, processor));
+                }
+            }
+            for (bus, list) in contenders.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let (memory, processor) = list[rng.random_range(0..list.len())];
+                out.push(Grant {
+                    processor,
+                    memory,
+                    bus: Some(bus),
+                });
+            }
+        }
+        other => unreachable!("unsupported scheme {:?}", other.kind()),
+    }
+}

@@ -113,14 +113,15 @@ mod tests {
 
     #[test]
     fn single_replication_falls_back_to_batch_ci() {
-        // B = 4 so the per-cycle service count actually varies (B = 2 would
-        // saturate every cycle and yield a legitimately zero-width CI).
+        // r < 1 so the offered load itself varies per cycle; at r = 1 with
+        // B = 4 the network can serve exactly B requests every single cycle
+        // and yield a legitimately zero-width CI.
         let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
         let matrix = HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1])
             .unwrap()
             .matrix();
         let config = SimConfig::new(2_000);
-        let report = run_replications(&net, &matrix, 1.0, &config, 1).unwrap();
+        let report = run_replications(&net, &matrix, 0.6, &config, 1).unwrap();
         assert_eq!(report.replications, 1);
         assert!(report.bandwidth.half_width() > 0.0);
     }

@@ -1,0 +1,121 @@
+//! Proves the simulation hot loop is allocation-free in steady state.
+//!
+//! A counting global allocator wraps [`System`]; after a warmup phase that
+//! lets every scratch buffer reach its high-water capacity, stepping the
+//! simulator must perform **zero** allocations (and zero reallocations).
+//! The RNG is seeded, so the workload — and therefore the verdict — is
+//! deterministic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mbus_sim::Simulator;
+use mbus_topology::{BusNetwork, ConnectionScheme};
+use mbus_workload::{HierarchicalModel, RequestModel};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One test (so no parallel test thread can allocate concurrently) covering
+/// every connection scheme, with and without resubmission, plus a manual
+/// fault/repair phase.
+#[test]
+fn steady_state_stepping_does_not_allocate() {
+    let n = 16;
+    let matrix = HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+        .unwrap()
+        .matrix();
+    let schemes: Vec<(&str, BusNetwork)> = vec![
+        (
+            "full",
+            BusNetwork::new(n, n, 4, ConnectionScheme::Full).unwrap(),
+        ),
+        (
+            "single",
+            BusNetwork::new(n, n, 4, ConnectionScheme::balanced_single(n, 4).unwrap()).unwrap(),
+        ),
+        (
+            "partial",
+            BusNetwork::new(n, n, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap(),
+        ),
+        (
+            "kclass",
+            BusNetwork::new(n, n, 4, ConnectionScheme::uniform_classes(n, 4).unwrap()).unwrap(),
+        ),
+        (
+            "crossbar",
+            BusNetwork::new(n, n, 1, ConnectionScheme::Crossbar).unwrap(),
+        ),
+    ];
+
+    for (name, net) in &schemes {
+        for resubmission in [false, true] {
+            let mut sim = Simulator::build(net, &matrix, 0.9).unwrap();
+            sim.reset(7);
+            sim.set_resubmission(resubmission);
+            // Warmup: let scratch vectors grow to their high-water marks.
+            for _ in 0..2_000 {
+                let _ = sim.step();
+            }
+            let before = allocations();
+            let mut grants = 0usize;
+            for _ in 0..2_000 {
+                grants += sim.step().grants.len();
+            }
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{name} (resubmission: {resubmission}) allocated in steady state"
+            );
+            assert!(grants > 0, "{name}: sanity — something was served");
+        }
+    }
+
+    // Fault injection between steps must not allocate either.
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::Full).unwrap();
+    let mut sim = Simulator::build(&net, &matrix, 0.9).unwrap();
+    sim.reset(11);
+    for _ in 0..2_000 {
+        let _ = sim.step();
+    }
+    let before = allocations();
+    for cycle in 0..2_000u64 {
+        if cycle == 100 {
+            sim.fault_mask_mut().fail(1).unwrap();
+        }
+        if cycle == 1_100 {
+            sim.fault_mask_mut().repair(1).unwrap();
+        }
+        let _ = sim.step();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "faulted stepping allocated in steady state"
+    );
+}

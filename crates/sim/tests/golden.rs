@@ -1,0 +1,178 @@
+//! Golden determinism tests for the simulation engine.
+//!
+//! The optimized engine must reproduce, bit for bit, the reports the
+//! pre-optimization engine produced for fixed seeds and configurations.
+//! The expected hashes below were captured from the engine *before* the
+//! zero-allocation refactor; `reference::ReferenceSimulator` keeps that
+//! implementation alive, and both engines are pinned to the same values
+//! so any divergence — in either direction — is caught.
+//!
+//! The hash folds every field of [`SimReport`] (f64 bit patterns included),
+//! so a mismatch means an observable behavior change, not just noise.
+
+use mbus_sim::{SimConfig, SimReport, Simulator};
+use mbus_topology::{BusNetwork, ConnectionScheme};
+use mbus_workload::{HierarchicalModel, RequestMatrix, RequestModel};
+
+/// FNV-1a over every field of the report, in declaration order.
+fn report_hash(report: &SimReport) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    struct Fnv(u64);
+    impl Fnv {
+        fn u64(&mut self, value: u64) {
+            for byte in value.to_le_bytes() {
+                self.0 ^= u64::from(byte);
+                self.0 = self.0.wrapping_mul(PRIME);
+            }
+        }
+        fn f64(&mut self, value: f64) {
+            self.u64(value.to_bits());
+        }
+    }
+    let mut h = Fnv(OFFSET);
+    h.u64(report.cycles);
+    h.u64(report.warmup);
+    h.f64(report.bandwidth.mean());
+    h.f64(report.bandwidth.half_width());
+    h.f64(report.bandwidth.level());
+    h.f64(report.offered_load);
+    h.f64(report.acceptance);
+    h.f64(report.unreachable_rate);
+    for &u in &report.bus_utilization {
+        h.f64(u);
+    }
+    for &rate in &report.memory_service_rates {
+        h.f64(rate);
+    }
+    for &rate in &report.processor_service_rates {
+        h.f64(rate);
+    }
+    for (value, count) in report.served_histogram.iter() {
+        h.u64(value as u64);
+        h.u64(count);
+    }
+    h.f64(report.mean_wait);
+    h.u64(report.max_wait);
+    h.0
+}
+
+fn hier_matrix(n: usize) -> RequestMatrix {
+    HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+        .unwrap()
+        .matrix()
+}
+
+/// The scenario grid: every connection scheme, plus resubmission and
+/// fault-schedule paths, at mixed request rates.
+fn scenarios() -> Vec<(&'static str, BusNetwork, RequestMatrix, f64, SimConfig)> {
+    let base = |seed: u64| SimConfig::new(5_000).with_warmup(500).with_seed(seed);
+    vec![
+        (
+            "crossbar",
+            BusNetwork::new(16, 16, 1, ConnectionScheme::Crossbar).unwrap(),
+            hier_matrix(16),
+            0.75,
+            base(12345),
+        ),
+        (
+            "full",
+            BusNetwork::new(16, 16, 4, ConnectionScheme::Full).unwrap(),
+            hier_matrix(16),
+            0.75,
+            base(23456),
+        ),
+        (
+            "single",
+            BusNetwork::new(16, 16, 4, ConnectionScheme::balanced_single(16, 4).unwrap()).unwrap(),
+            hier_matrix(16),
+            0.75,
+            base(34567),
+        ),
+        (
+            "partial",
+            BusNetwork::new(16, 16, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap(),
+            hier_matrix(16),
+            0.75,
+            base(45678),
+        ),
+        (
+            "kclass",
+            BusNetwork::new(16, 16, 4, ConnectionScheme::uniform_classes(16, 4).unwrap()).unwrap(),
+            hier_matrix(16),
+            0.75,
+            base(56789),
+        ),
+        (
+            "full-resubmission",
+            BusNetwork::new(16, 16, 4, ConnectionScheme::Full).unwrap(),
+            hier_matrix(16),
+            0.9,
+            base(67890).with_resubmission(true),
+        ),
+        (
+            "full-faulted",
+            BusNetwork::new(16, 16, 4, ConnectionScheme::Full).unwrap(),
+            hier_matrix(16),
+            1.0,
+            base(78901).with_faults(
+                mbus_sim::FaultSchedule::from_events(vec![
+                    mbus_sim::FaultEvent {
+                        cycle: 1_000,
+                        bus: 1,
+                        kind: mbus_sim::FaultEventKind::Fail,
+                    },
+                    mbus_sim::FaultEvent {
+                        cycle: 3_000,
+                        bus: 1,
+                        kind: mbus_sim::FaultEventKind::Repair,
+                    },
+                ])
+                .unwrap(),
+            ),
+        ),
+    ]
+}
+
+/// Hashes captured from the pre-refactor engine (same order as
+/// [`scenarios`]). Regenerate only for a deliberate, documented behavior
+/// change — these pin the RNG draw order and every arbitration policy.
+const EXPECTED: &[(&str, u64)] = &[
+    ("crossbar", 0xcca78dc0b65e2105),
+    ("full", 0xb7c979d73d35cc69),
+    ("single", 0xfc62fd947c97aea3),
+    ("partial", 0x00e027d28d3b313b),
+    ("kclass", 0xdf709679c64cc94e),
+    ("full-resubmission", 0x7140df1b6e6b9b3b),
+    ("full-faulted", 0x88a695cd4994d10f),
+];
+
+/// The optimized engine and the frozen pre-refactor engine must produce
+/// *equal* reports (every field, f64s included) on every scenario — not
+/// just equal hashes.
+#[test]
+fn optimized_engine_matches_reference_engine() {
+    for (name, net, matrix, r, config) in scenarios() {
+        let optimized = Simulator::build(&net, &matrix, r).unwrap().run(&config);
+        let reference = mbus_sim::reference::ReferenceSimulator::build(&net, &matrix, r)
+            .unwrap()
+            .run(&config);
+        assert_eq!(optimized, reference, "{name}: engines diverged");
+    }
+}
+
+#[test]
+fn engine_matches_golden_reports() {
+    for ((name, net, matrix, r, config), &(expected_name, expected_hash)) in
+        scenarios().into_iter().zip(EXPECTED)
+    {
+        assert_eq!(name, expected_name, "scenario order drifted");
+        let mut sim = Simulator::build(&net, &matrix, r).unwrap();
+        let report = sim.run(&config);
+        let hash = report_hash(&report);
+        assert_eq!(
+            hash, expected_hash,
+            "{name}: report hash {hash:#018x} != golden {expected_hash:#018x}"
+        );
+    }
+}

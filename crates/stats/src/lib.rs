@@ -11,6 +11,8 @@
 //!   [`ConfidenceInterval`]s for steady-state simulation output.
 //! * [`Histogram`] — integer-valued histograms (e.g. "requests served per
 //!   cycle") with exact quantiles.
+//! * [`parallel`] — a dependency-free `parallel_map` over scoped threads,
+//!   the engine behind multi-point sweeps and table regeneration.
 //! * [`prob`] — probability building blocks: stable binomial coefficients and
 //!   pmfs, the Poisson-binomial distribution (heterogeneous success
 //!   probabilities, needed for the generalized bus-interference analysis),
@@ -36,6 +38,7 @@
 mod batch;
 mod ci;
 mod histogram;
+pub mod parallel;
 pub mod prob;
 mod welford;
 

@@ -1,0 +1,127 @@
+//! Dependency-free data parallelism over `std::thread::scope`.
+//!
+//! The workspace deliberately avoids external runtime crates, so its
+//! parallel layer is this one primitive: [`parallel_map`] shards a work
+//! list over scoped threads and returns results in input order. It powers
+//! the design-space sweeps in `mbus-analysis`, the table regeneration in
+//! `multibus::tables`, and the throughput harness — anywhere many
+//! independent (network, rate) points must be evaluated.
+//!
+//! The sharding is static: the input is split into `workers` contiguous
+//! chunks, one thread per chunk. That is the right shape for sweeps whose
+//! points cost roughly the same; it keeps the primitive free of channels,
+//! work-stealing queues, and unsafe code.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbus_stats::parallel::{available_workers, parallel_map};
+//!
+//! let squares = parallel_map(vec![1u64, 2, 3, 4], available_workers(), |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+/// A sensible worker count for CPU-bound sweeps: the machine's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, preserving
+/// input order in the output.
+///
+/// Each thread owns one contiguous chunk of the input, so `f` only needs
+/// `Sync` (shared by reference across threads), not `Clone`. With
+/// `workers <= 1`, a single item, or an empty input, everything runs on the
+/// calling thread — callers can pass a configured worker count straight
+/// through without special-casing the serial path.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the panicking worker thread is joined and
+/// its panic resumed).
+pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    if len <= 1 || workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = workers.min(len);
+    // Move every item into an Option slot so chunks can be carved off and
+    // consumed by value inside the scope; results land in matching slots.
+    let mut input: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut output: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    let chunk = len.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in input.chunks_mut(chunk).zip(output.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot_in, slot_out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let item = slot_in.take().expect("each input slot is consumed once");
+                    *slot_out = Some(f(item));
+                }
+            });
+        }
+    });
+    output
+        .into_iter()
+        .map(|slot| slot.expect("each output slot is filled once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100usize).collect(), 7, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = parallel_map(Vec::new(), 4, |x: usize| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![41usize], 4, |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn serial_fallback_matches_parallel() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = parallel_map(items.clone(), 1, |x| x * x + 1);
+        let parallel = parallel_map(items, 16, |x| x * x + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        assert_eq!(
+            parallel_map(vec![1usize, 2, 3], 64, |x| x + 10),
+            vec![11, 12, 13]
+        );
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map((0..500usize).collect(), 8, |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+}

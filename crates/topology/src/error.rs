@@ -78,6 +78,14 @@ pub enum TopologyError {
         /// The exclusive upper bound.
         len: usize,
     },
+    /// The network has too many memories for a `2^M`-entry served-set
+    /// lookup table.
+    TableTooLarge {
+        /// Number of memories `M`.
+        memories: usize,
+        /// The largest supported `M`.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -132,6 +140,11 @@ impl std::fmt::Display for TopologyError {
             Self::IndexOutOfRange { kind, index, len } => {
                 write!(f, "{kind} index {index} out of range (network has {len})")
             }
+            Self::TableTooLarge { memories, limit } => write!(
+                f,
+                "M = {memories} memories exceeds the served-table limit of {limit} \
+                 (the table has 2^M entries)"
+            ),
         }
     }
 }

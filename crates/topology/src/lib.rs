@@ -54,9 +54,11 @@ pub mod fault;
 mod network;
 pub mod render;
 mod scheme;
+pub mod served;
 
 pub use cost::{CostSummary, SchemeCostRow};
 pub use error::TopologyError;
 pub use fault::{DegradedView, FaultMask};
 pub use network::BusNetwork;
 pub use scheme::{ConnectionScheme, SchemeKind};
+pub use served::{served_count, ServedTable, MAX_TABLE_MEMORIES};

@@ -1,7 +1,7 @@
 //! Constant-time destination sampling (Walker's alias method).
 
 use crate::{RequestMatrix, WorkloadError};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Walker/Vose alias sampler: draws from a fixed discrete distribution in
 /// `O(1)` per sample after `O(n)` setup.
@@ -24,10 +24,9 @@ use rand::{Rng, RngExt};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct AliasSampler {
-    /// Acceptance threshold per column.
-    prob: Vec<f64>,
-    /// Alias outcome per column.
-    alias: Vec<usize>,
+    /// Per-column `(acceptance threshold, alias outcome)`. Interleaved in
+    /// one vector so a draw touches a single cache line, not two arrays.
+    cells: Vec<(f64, usize)>,
 }
 
 impl AliasSampler {
@@ -92,26 +91,29 @@ impl AliasSampler {
             prob[i] = 1.0;
             alias[i] = i;
         }
-        Ok(Self { prob, alias })
+        Ok(Self {
+            cells: prob.into_iter().zip(alias).collect(),
+        })
     }
 
     /// Number of outcomes.
     pub fn len(&self) -> usize {
-        self.prob.len()
+        self.cells.len()
     }
 
     /// Whether the sampler has no outcomes (never true after construction).
     pub fn is_empty(&self) -> bool {
-        self.prob.is_empty()
+        self.cells.is_empty()
     }
 
     /// Draws one outcome index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let column = rng.random_range(0..self.prob.len());
-        if rng.random::<f64>() < self.prob[column] {
+        let column = rng.random_range(0..self.cells.len());
+        let (threshold, alias) = self.cells[column];
+        if rng.random::<f64>() < threshold {
             column
         } else {
-            self.alias[column]
+            alias
         }
     }
 }

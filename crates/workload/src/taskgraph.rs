@@ -20,7 +20,7 @@
 //! The `cluster_workload` example walks the full pipeline.
 
 use crate::{Fractions, HierarchicalModel, Hierarchy, WorkloadError};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// An undirected weighted communication graph over tasks, with a group label

@@ -184,16 +184,17 @@ fn arbitration_is_fair_across_symmetric_processors() {
 /// complete less often.
 #[test]
 fn asymmetric_workload_shows_in_fairness() {
-    // 6 processors, 4 memories: memories 0, 1 are each the favorite of two
-    // processors.
+    // 6 processors, 4 memories, favorite = p mod M: memories 0, 1 are each
+    // the favorite of two processors (0 & 4, 1 & 5).
     let model = FavoriteModel::new(6, 4, 0.8).unwrap();
     let net = BusNetwork::new(6, 4, 2, ConnectionScheme::Full).unwrap();
     let mut sim = Simulator::build(&net, &model.matrix(), 1.0).unwrap();
     let report = sim.run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(43));
     assert!(report.processor_fairness() < 0.999);
-    // Processors 4 and 5 own exclusive favorites and finish more often.
+    // Processors 2 and 3 own exclusive favorites and finish more often than
+    // processor 0, which shares memory 0 with processor 4.
     assert!(
-        report.processor_service_rates[4] > report.processor_service_rates[0],
+        report.processor_service_rates[2] > report.processor_service_rates[0] + 0.05,
         "{:?}",
         report.processor_service_rates
     );

@@ -1,0 +1,172 @@
+//! Offline mini-criterion.
+//!
+//! Provides the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `bench_with_input`, `benchmark_group` (and `BenchmarkGroup`),
+//! `BenchmarkId`, `black_box`, and `Bencher::iter` —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark prints its mean iteration time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measurement window per benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(300);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Opens a named group; group members report as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Runs one benchmark within the group, parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (real criterion finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One calibration run, excluded from the measurement.
+        black_box(routine());
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        while started.elapsed() < TARGET_TIME {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.iterations = iterations.max(1);
+        self.elapsed = started.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("bench {name}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        println!(
+            "bench {name}: {:.3} ms/iter ({} iters in {:.2?})",
+            per_iter * 1e3,
+            self.iterations,
+            self.elapsed
+        );
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

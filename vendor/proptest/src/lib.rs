@@ -1,0 +1,229 @@
+//! Offline mini-proptest.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — `proptest!`, range/tuple/`Just` strategies, `prop_map`,
+//! `prop_flat_map`, `prop_filter(_map)`, `prop_oneof!`,
+//! `proptest::collection::vec`, `any::<T>()`, and the `prop_assert*` /
+//! `prop_assume!` macros — on top of the vendored deterministic `rand`.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! sampled inputs via the assertion message only), and case generation is
+//! deterministic per test function (fixed seed), so failures always
+//! reproduce.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Error produced by one test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be resampled.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject() -> Self {
+        Self::Reject
+    }
+}
+
+/// Result type of a property test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Drives one property test: samples inputs and runs the body until
+/// `config.cases` cases pass, panicking on the first failure.
+///
+/// Rejections (`prop_assume!`) do not count toward the case total but are
+/// capped to catch filters that almost never accept.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let mut rng = StdRng::seed_from_u64(0x70726f7065727479); // "property"
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let budget = u64::from(config.cases.max(1)) * 20 + 1_000;
+    while passed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= budget,
+            "{name}: too many rejected cases ({} passed of {} after {attempts} attempts)",
+            passed,
+            config.cases
+        );
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {} failed: {msg}", passed + 1)
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+
+    /// Namespace mirror so `prop::sample::Index` and friends resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a property test, returning a failure (not
+/// panicking) so the runner can report the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (resampled without counting as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond);
+    };
+}
+
+/// Uniform choice between heterogeneous strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property test functions. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items (attributes, including
+/// `#[test]`, are passed through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,23 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Arbitrary;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this index into `0..len`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Self(rng.random())
+    }
+}

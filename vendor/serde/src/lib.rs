@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report types so
+//! that downstream users with the real serde can serialize them, but the
+//! offline build environment cannot fetch serde itself. This stub keeps the
+//! derive attributes compiling: the traits are markers and the derives
+//! expand to nothing. JSON emitted by the workspace (e.g. `BENCH_sim.json`)
+//! is hand-rolled and does not go through serde.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline serde stub: `#[derive(Serialize,
+//! Deserialize)]` must parse and expand, but nothing in this workspace
+//! consumes the generated impls, so the expansion is empty.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` compiling offline.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` compiling offline.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
