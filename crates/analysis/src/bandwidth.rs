@@ -31,7 +31,7 @@ pub struct BandwidthBreakdown {
     pub per_bus_busy: Option<Vec<f64>>,
 }
 
-fn validate(net: &BusNetwork, matrix: &RequestMatrix) -> Result<(), AnalysisError> {
+pub(crate) fn validate(net: &BusNetwork, matrix: &RequestMatrix) -> Result<(), AnalysisError> {
     if net.processors() != matrix.processors() {
         return Err(AnalysisError::DimensionMismatch {
             what: "processors",
@@ -107,7 +107,7 @@ pub fn memory_bandwidth_from_probs(net: &BusNetwork, xs: &[f64]) -> Result<f64, 
     Ok(bandwidth_from_probs(net, xs)?.0)
 }
 
-fn poisson_binomial(xs: &[f64]) -> Result<PoissonBinomial, AnalysisError> {
+pub(crate) fn poisson_binomial(xs: &[f64]) -> Result<PoissonBinomial, AnalysisError> {
     PoissonBinomial::new(xs).map_err(|_| AnalysisError::InvalidProbability {
         name: "per-memory request probability",
         value: f64::NAN,

@@ -1,0 +1,466 @@
+//! Degraded-mode analytical bandwidth: the paper's equations evaluated
+//! through a [`FaultMask`].
+//!
+//! The paper motivates every multiple-bus scheme with its *degree* of fault
+//! tolerance (Table I) but never quantifies what a failure costs. This
+//! module closes that gap: it re-derives the eq (2)–(6)/(9)/(12) bandwidth
+//! structure for a network observed through a fault mask, matching the
+//! simulator's degraded semantics exactly:
+//!
+//! * requests aimed at memories with no alive bus are **dropped** (they
+//!   contribute to `unreachable_load`, not to bandwidth, and they do not
+//!   interfere with other memories — per-memory arbitration is
+//!   independent);
+//! * full connection serves `E[min(D, alive buses)]`;
+//! * single connection sums busy probabilities over alive buses only;
+//! * partial groups become independent subnetworks with their *surviving*
+//!   bus counts;
+//! * K-class networks assign each class's winners top-down over the alive
+//!   buses of the class's range, so an alive bus `i` carries a class-`c`
+//!   contender with probability `P(D_c > A_c(i))` where `A_c(i)` counts the
+//!   alive buses above `i` that class `c` can also reach. With no failures
+//!   `A_c(i)` equals the paper's eq (11) allowance `j − a`, and the whole
+//!   computation reduces to [`crate::bandwidth::analyze`] (asserted in the
+//!   tests).
+//!
+//! The same independence approximation as the healthy-mode analysis
+//! applies: per-memory request indicators are treated as independent across
+//! modules. The cross-validation suite pins the result against
+//! fault-scheduled simulation.
+
+use crate::bandwidth::{poisson_binomial, validate};
+use crate::AnalysisError;
+use mbus_topology::{BusNetwork, ConnectionScheme, DegradedView, FaultMask};
+use mbus_workload::RequestMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A degraded-mode bandwidth result with its derived quantities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedBreakdown {
+    /// Effective memory bandwidth under the mask: expected successful
+    /// requests per cycle.
+    pub bandwidth: f64,
+    /// Offered load `Σ_p r·Σ_j prob(p,j)`: expected issued requests per
+    /// cycle (unchanged by faults — processors keep issuing).
+    pub offered_load: f64,
+    /// Probability a request is accepted, `bandwidth / offered_load`
+    /// (1 when nothing is offered).
+    pub acceptance: f64,
+    /// Expected requests per cycle aimed at unreachable memories (dropped
+    /// before arbitration) — the analytical counterpart of the simulator's
+    /// `unreachable_rate`.
+    pub unreachable_load: f64,
+    /// Number of memories still reachable under the mask.
+    pub accessible_memories: usize,
+    /// Fraction of memories still reachable, in `[0, 1]`.
+    pub accessible_fraction: f64,
+    /// Per-bus busy probabilities, length `B`; failed buses report 0. For
+    /// full-connection networks the scheme's round-robin arbiter spreads
+    /// load symmetrically over the alive buses, so each alive bus gets the
+    /// mean; the crossbar (no shared buses) reports an empty vector.
+    pub per_bus_busy: Vec<f64>,
+    /// For K-class networks: expected requests served per cycle *per
+    /// class*, `C_1` first. `None` for other schemes. Class `C_j` reaches
+    /// exactly 0 once all `j + B − K` of its buses are failed, while higher
+    /// classes stay positive — Table I's "flexible" fault tolerance made
+    /// quantitative.
+    pub per_class_bandwidth: Option<Vec<f64>>,
+}
+
+/// Degraded-mode effective memory bandwidth of `net` under `mask`.
+///
+/// # Errors
+///
+/// Same as [`degraded_analyze`].
+pub fn degraded_bandwidth(
+    net: &BusNetwork,
+    matrix: &RequestMatrix,
+    r: f64,
+    mask: &FaultMask,
+) -> Result<f64, AnalysisError> {
+    Ok(degraded_analyze(net, matrix, r, mask)?.bandwidth)
+}
+
+/// Full degraded-mode breakdown of `net` under the workload `matrix` at
+/// request rate `r`, observed through `mask`.
+///
+/// With an all-alive mask this agrees with
+/// [`crate::bandwidth::analyze`] to floating-point noise.
+///
+/// # Errors
+///
+/// * network/workload dimension mismatch →
+///   [`AnalysisError::DimensionMismatch`];
+/// * `r ∉ [0, 1]` → [`AnalysisError::InvalidRate`];
+/// * mask covering a different bus count than the network →
+///   [`AnalysisError::Topology`];
+/// * schemes outside the paper's five → [`AnalysisError::UnsupportedScheme`].
+pub fn degraded_analyze(
+    net: &BusNetwork,
+    matrix: &RequestMatrix,
+    r: f64,
+    mask: &FaultMask,
+) -> Result<DegradedBreakdown, AnalysisError> {
+    validate(net, matrix)?;
+    if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+        return Err(AnalysisError::InvalidRate { value: r });
+    }
+    let view = DegradedView::new(net, mask)?;
+    let xs = matrix.memory_request_probs(r)?;
+    let offered_load = matrix.offered_load(r);
+
+    // Requests to unreachable memories are dropped before arbitration; the
+    // expected dropped load is the per-processor traffic into those
+    // columns. Reachable memories keep their exact X_j: dropping a request
+    // removes it from *its own* (dead) memory's arbitration only.
+    let mut unreachable_load = 0.0;
+    for j in 0..net.memories() {
+        if !view.is_memory_accessible(j) {
+            for p in 0..net.processors() {
+                unreachable_load += r * matrix.prob(p, j);
+            }
+        }
+    }
+
+    let b = net.buses();
+    let (bandwidth, per_bus_busy, per_class_bandwidth) = match net.scheme() {
+        // The crossbar has no shared buses to fail.
+        ConnectionScheme::Crossbar => (xs.iter().sum(), Vec::new(), None),
+        // Full connection: every memory rides any alive bus, so the network
+        // behaves like a healthy one with `alive` buses.
+        ConnectionScheme::Full => {
+            let alive = mask.alive_count();
+            if alive == 0 {
+                (0.0, vec![0.0; b], None)
+            } else {
+                let pb = poisson_binomial(&xs)?;
+                let total = pb.expected_min_with(alive);
+                // Round-robin rotation spreads grants evenly over alive
+                // buses; failed buses carry nothing.
+                let share = total / alive as f64;
+                let busy = (0..b)
+                    .map(|bus| if mask.is_alive(bus) { share } else { 0.0 })
+                    .collect();
+                (total, busy, None)
+            }
+        }
+        // Single connection: a bus is busy iff alive and any of its own
+        // modules is requested; a failed bus's modules are unreachable.
+        ConnectionScheme::Single { .. } => {
+            let busy: Vec<f64> = (0..b)
+                .map(|bus| {
+                    if mask.is_failed(bus) {
+                        return 0.0;
+                    }
+                    let idle: f64 = net.memories_of_bus(bus).map(|j| 1.0 - xs[j]).product();
+                    1.0 - idle
+                })
+                .collect();
+            (busy.iter().sum(), busy, None)
+        }
+        // Partial groups: independent subnetworks, each serving
+        // E[min(D_q, alive_q)] on its surviving buses.
+        ConnectionScheme::PartialGroups { groups } => {
+            let g = *groups;
+            let per_group_mem = net.memories() / g;
+            let per_group_bus = b / g;
+            let mut total = 0.0;
+            let mut busy = vec![0.0; b];
+            for q in 0..g {
+                let group_buses = q * per_group_bus..(q + 1) * per_group_bus;
+                let alive = group_buses.clone().filter(|&i| mask.is_alive(i)).count();
+                if alive == 0 {
+                    continue;
+                }
+                let slice = &xs[q * per_group_mem..(q + 1) * per_group_mem];
+                let pb = poisson_binomial(slice)?;
+                let group_bw = pb.expected_min_with(alive);
+                total += group_bw;
+                let share = group_bw / alive as f64;
+                for i in group_buses.filter(|&i| mask.is_alive(i)) {
+                    busy[i] = share;
+                }
+            }
+            (total, busy, None)
+        }
+        // K classes: top-down assignment over each class's *alive* buses.
+        ConnectionScheme::KClasses { class_sizes } => {
+            let k = class_sizes.len();
+            let mut pmfs = Vec::with_capacity(k);
+            for c in 0..k {
+                let range = net.memories_of_class(c).expect("validated K-class");
+                let pb = poisson_binomial(&xs[range])?;
+                pmfs.push(pb.pmf_slice().to_vec());
+            }
+            // contender[i][c] = P(an alive bus i holds a class-c winner):
+            // class c reaches buses 0..kclass_bus_count(c) and fills its
+            // alive ones top-down, so bus i is reached once the class has
+            // more winners than alive buses above i.
+            let mut contender = vec![vec![0.0f64; k]; b];
+            for (c, pmf) in pmfs.iter().enumerate() {
+                let top = net.kclass_bus_count(c);
+                for (i, row) in contender.iter_mut().enumerate().take(top) {
+                    if mask.is_failed(i) {
+                        continue;
+                    }
+                    let above = (i + 1..top).filter(|&j| mask.is_alive(j)).count();
+                    // P(D_c ≤ above), summed like the healthy path so the
+                    // no-fault case reproduces it to float parity.
+                    let cdf: f64 = pmf.iter().take(above + 1).sum();
+                    row[c] = 1.0 - cdf.min(1.0);
+                }
+            }
+            let busy: Vec<f64> = (0..b)
+                .map(|i| {
+                    if mask.is_failed(i) {
+                        return 0.0;
+                    }
+                    let idle: f64 = contender[i].iter().map(|&p| 1.0 - p).product();
+                    1.0 - idle
+                })
+                .collect();
+            // Per-class service: class c wins bus i with probability
+            // p_c(i)·E[1/(1+T)], T the number of *other* classes contending
+            // at i (cross-class ties broken uniformly by the arbiter).
+            let mut per_class = vec![0.0f64; k];
+            for (i, row) in contender.iter().enumerate() {
+                if mask.is_failed(i) {
+                    continue;
+                }
+                for c in 0..k {
+                    let p_c = row[c];
+                    if p_c == 0.0 {
+                        continue;
+                    }
+                    let others: Vec<f64> = (0..k).filter(|&o| o != c).map(|o| row[o]).collect();
+                    let t = poisson_binomial(&others)?;
+                    let win: f64 = t
+                        .pmf_slice()
+                        .iter()
+                        .enumerate()
+                        .map(|(extra, &p)| p / (extra as f64 + 1.0))
+                        .sum();
+                    per_class[c] += p_c * win;
+                }
+            }
+            debug_assert!(
+                (per_class.iter().sum::<f64>() - busy.iter().sum::<f64>()).abs() < 1e-9,
+                "per-class decomposition must resum to total bandwidth"
+            );
+            (busy.iter().sum(), busy, Some(per_class))
+        }
+        other => {
+            return Err(AnalysisError::UnsupportedScheme {
+                scheme: other.kind().to_string(),
+            })
+        }
+    };
+
+    let acceptance = if offered_load > 0.0 {
+        bandwidth / offered_load
+    } else {
+        1.0
+    };
+    Ok(DegradedBreakdown {
+        bandwidth,
+        offered_load,
+        acceptance,
+        unreachable_load,
+        accessible_memories: view.accessible_memory_count(),
+        accessible_fraction: view.accessible_fraction(),
+        per_bus_busy,
+        per_class_bandwidth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::analyze;
+    use mbus_workload::{HierarchicalModel, RequestModel, UniformModel};
+
+    fn hier_matrix(n: usize) -> RequestMatrix {
+        HierarchicalModel::two_level_paired(n, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix()
+    }
+
+    fn schemes(n: usize, b: usize) -> Vec<(&'static str, ConnectionScheme)> {
+        vec![
+            ("full", ConnectionScheme::Full),
+            ("single", ConnectionScheme::balanced_single(n, b).unwrap()),
+            ("partial", ConnectionScheme::PartialGroups { groups: 2 }),
+            ("kclass", ConnectionScheme::uniform_classes(n, b).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn no_fault_mask_reproduces_healthy_analysis() {
+        let n = 16;
+        let b = 4;
+        let matrix = hier_matrix(n);
+        for (name, scheme) in schemes(n, b) {
+            let net = BusNetwork::new(n, n, b, scheme).unwrap();
+            for r in [1.0, 0.6] {
+                let healthy = analyze(&net, &matrix, r).unwrap();
+                let degraded = degraded_analyze(&net, &matrix, r, &FaultMask::none(b)).unwrap();
+                assert!(
+                    (healthy.bandwidth - degraded.bandwidth).abs() < 1e-9,
+                    "{name}/r={r}: {} vs {}",
+                    healthy.bandwidth,
+                    degraded.bandwidth
+                );
+                assert_eq!(degraded.unreachable_load, 0.0);
+                assert_eq!(degraded.accessible_memories, n);
+                assert!((degraded.acceptance - healthy.acceptance).abs() < 1e-9);
+                if let Some(busy) = &healthy.per_bus_busy {
+                    for (a, d) in busy.iter().zip(&degraded.per_bus_busy) {
+                        assert!((a - d).abs() < 1e-12, "{name}: per-bus busy diverged");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_with_failures_equals_smaller_network() {
+        let n = 16;
+        let matrix = hier_matrix(n);
+        let net = BusNetwork::new(n, n, 6, ConnectionScheme::Full).unwrap();
+        for failed in 1..=5usize {
+            let mask = FaultMask::with_failures(6, &(0..failed).collect::<Vec<_>>()).unwrap();
+            let degraded = degraded_bandwidth(&net, &matrix, 1.0, &mask).unwrap();
+            let shrunk = BusNetwork::new(n, n, 6 - failed, ConnectionScheme::Full).unwrap();
+            let healthy = analyze(&shrunk, &matrix, 1.0).unwrap().bandwidth;
+            assert!(
+                (degraded - healthy).abs() < 1e-12,
+                "{failed} failures: {degraded} vs B-{failed} healthy {healthy}"
+            );
+        }
+        // All buses dead: zero.
+        let mask = FaultMask::with_failures(6, &[0, 1, 2, 3, 4, 5]).unwrap();
+        let dead = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+        assert_eq!(dead.bandwidth, 0.0);
+        assert_eq!(dead.accessible_memories, 0);
+        assert!((dead.unreachable_load - dead.offered_load).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_failed_bus_drops_exactly_its_modules() {
+        let n = 8;
+        let matrix = UniformModel::new(n, n).unwrap().matrix();
+        let net =
+            BusNetwork::new(n, n, 4, ConnectionScheme::balanced_single(n, 4).unwrap()).unwrap();
+        let healthy = analyze(&net, &matrix, 1.0).unwrap();
+        let mask = FaultMask::with_failures(4, &[0]).unwrap();
+        let degraded = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+        // Uniform traffic over a balanced placement: losing 1 of 4 buses
+        // loses exactly a quarter of the busy probability mass.
+        assert!((degraded.bandwidth - healthy.bandwidth * 0.75).abs() < 1e-12);
+        assert_eq!(degraded.per_bus_busy[0], 0.0);
+        assert_eq!(degraded.accessible_memories, 6);
+        // 8 processors each sending 1/4 of their traffic to dead modules.
+        assert!((degraded.unreachable_load - 8.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_group_loss_halves_symmetric_network() {
+        let n = 8;
+        let matrix = UniformModel::new(n, n).unwrap().matrix();
+        let net = BusNetwork::new(n, n, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap();
+        let healthy = analyze(&net, &matrix, 1.0).unwrap().bandwidth;
+        let mask = FaultMask::with_failures(4, &[0, 1]).unwrap();
+        let degraded = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+        assert!((degraded.bandwidth - healthy / 2.0).abs() < 1e-12);
+        assert_eq!(degraded.accessible_memories, 4);
+    }
+
+    #[test]
+    fn kclass_class_dies_after_its_bus_count_fails() {
+        // N = M = 8, B = K = 4: class C_j (1-based) reaches buses 0..j, so
+        // it dies exactly once buses 0..j−1 (j of them? no: j + B − K = j
+        // buses) are down.
+        let n = 8;
+        let b = 4;
+        let matrix = hier_matrix(n);
+        let net =
+            BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+        for f in 0..=b {
+            let mask = FaultMask::with_failures(b, &(0..f).collect::<Vec<_>>()).unwrap();
+            let breakdown = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+            let per_class = breakdown.per_class_bandwidth.unwrap();
+            for (c, &bw) in per_class.iter().enumerate() {
+                let class_buses = net.kclass_bus_count(c);
+                if f >= class_buses {
+                    assert_eq!(bw, 0.0, "f={f}: class C_{} must be dead", c + 1);
+                } else {
+                    assert!(bw > 0.0, "f={f}: class C_{} must survive", c + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kclass_high_bus_failures_are_absorbed() {
+        // Failing the top bus costs bandwidth but disconnects nobody;
+        // failing the bottom bus kills class C_1.
+        let n = 8;
+        let b = 4;
+        let matrix = hier_matrix(n);
+        let net =
+            BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+        let high = degraded_analyze(
+            &net,
+            &matrix,
+            1.0,
+            &FaultMask::with_failures(b, &[3]).unwrap(),
+        )
+        .unwrap();
+        let low = degraded_analyze(
+            &net,
+            &matrix,
+            1.0,
+            &FaultMask::with_failures(b, &[0]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(high.accessible_memories, n);
+        assert_eq!(high.unreachable_load, 0.0);
+        assert_eq!(low.accessible_memories, n - 2);
+        assert!(low.unreachable_load > 0.0);
+        assert!(high.bandwidth > low.bandwidth);
+    }
+
+    #[test]
+    fn crossbar_ignores_masks() {
+        let n = 8;
+        let matrix = hier_matrix(n);
+        let net = BusNetwork::new(n, n, 1, ConnectionScheme::Crossbar).unwrap();
+        let healthy = analyze(&net, &matrix, 1.0).unwrap().bandwidth;
+        let mask = FaultMask::with_failures(1, &[0]).unwrap();
+        let degraded = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+        assert!((degraded.bandwidth - healthy).abs() < 1e-12);
+        assert_eq!(degraded.unreachable_load, 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let matrix = hier_matrix(8);
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
+        // Wrong mask width.
+        assert!(matches!(
+            degraded_analyze(&net, &matrix, 1.0, &FaultMask::none(3)),
+            Err(AnalysisError::Topology(_))
+        ));
+        // Bad rate.
+        assert!(matches!(
+            degraded_analyze(&net, &matrix, 2.0, &FaultMask::none(4)),
+            Err(AnalysisError::InvalidRate { .. })
+        ));
+        // Dimension mismatch.
+        let wrong_net = BusNetwork::new(4, 8, 4, ConnectionScheme::Full).unwrap();
+        assert!(matches!(
+            degraded_analyze(&wrong_net, &matrix, 1.0, &FaultMask::none(4)),
+            Err(AnalysisError::DimensionMismatch { .. })
+        ));
+    }
+}

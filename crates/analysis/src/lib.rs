@@ -21,6 +21,9 @@
 //!   [`mbus_workload::RequestMatrix`] and evaluates each scheme with
 //!   Poisson-binomial bus interference, which reduces to the paper's
 //!   formulas when traffic is homogeneous (tested both ways).
+//! * [`degraded`] — the same evaluation through a
+//!   [`mbus_topology::FaultMask`]: renormalized over alive buses,
+//!   unreachable modules contributing zero, per-class K-class breakdowns.
 //! * [`sweep`] — bus sweeps, halving ratios, and per-scheme series used by
 //!   the table generators in `mbus-core`/`mbus-bench`.
 //! * [`cost_effectiveness`] — §IV's performance-cost comparisons.
@@ -44,9 +47,11 @@
 
 pub mod bandwidth;
 pub mod cost_effectiveness;
+pub mod degraded;
 mod error;
 pub mod paper;
 pub mod sweep;
 
 pub use bandwidth::{memory_bandwidth, memory_bandwidth_from_probs, BandwidthBreakdown};
+pub use degraded::{degraded_analyze, degraded_bandwidth, DegradedBreakdown};
 pub use error::AnalysisError;

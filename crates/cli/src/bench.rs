@@ -70,8 +70,8 @@ fn engine_benchmark(
     // The engines must agree exactly before their speeds are worth
     // comparing; `run` reseeds from the config, so this does not perturb
     // the timed runs below.
-    let opt_report = optimized.run(&config);
-    let ref_report = reference.run(&config);
+    let opt_report = optimized.run(&config).map_err(|e| e.to_string())?;
+    let ref_report = reference.run(&config).map_err(|e| e.to_string())?;
     if opt_report != ref_report {
         return Err("optimized and reference engines diverged — benchmark void".into());
     }
@@ -79,10 +79,10 @@ fn engine_benchmark(
     let (opt_secs, ref_secs) = best_seconds_interleaved(
         reps,
         || {
-            optimized.run(&config);
+            optimized.run(&config).expect("checked above");
         },
         || {
-            reference.run(&config);
+            reference.run(&config).expect("checked above");
         },
     );
     Ok(EngineResult {

@@ -33,7 +33,14 @@ COMMANDS:
                           [--alpha a] [--groups g] [--classes k]
     simulate              simulate the same configuration: adds --cycles
                           --warmup --seed --replications --resubmission
-                          [--fail bus@cycle[,bus@cycle...]]
+                          [--fail bus@cycle|bus@start-end[,...]]
+    faults                degraded-mode fault campaign: evaluates analytical
+                          bandwidth over C(B,f) bus-failure combos
+                          (exhaustive or Monte-Carlo past --limit) for the
+                          --scheme/--n/--b/--rate configuration
+                          [--max-failures f] [--samples 512] [--limit 5000]
+                          [--seed s] [--workers w] [--q 0.05] [--json]
+                          [--check] [--check-cycles 100000]
     validate              compare analysis vs exact vs simulation on a grid
     experiments           print the EXPERIMENTS.md report (paper vs computed)
     bench                 throughput harness: optimized vs reference engine
@@ -47,6 +54,7 @@ EXAMPLES:
     mbus table 2
     mbus analyze --scheme kclass --n 16 --b 8 --rate 0.5
     mbus simulate --scheme full --n 8 --b 4 --cycles 100000 --fail 2@50000
+    mbus faults --scheme kclass --n 8 --b 4 --check
     mbus render --scheme kclass --n 3 --m 6 --b 4 --classes 3
 ";
 
@@ -60,6 +68,7 @@ fn main() -> ExitCode {
         "ratios" => commands::ratios(),
         "analyze" => commands::analyze(&args),
         "simulate" => commands::simulate(&args),
+        "faults" => commands::faults(&args),
         "sweep" => commands::sweep(&args),
         "validate" => commands::validate(&args),
         "experiments" => commands::experiments(),

@@ -24,7 +24,10 @@
 //! * [`tables`] — regenerates every table of the paper (I–VI) with the
 //!   paper's printed values attached cell by cell ([`mod@reference`]), and the
 //!   paper's figures 1–4 as ASCII diagrams;
-//! * [`report`] — markdown / CSV rendering for all of the above.
+//! * [`report`] — markdown / CSV rendering for all of the above;
+//! * [`campaign`] (re-export of `mbus-campaign`) — fault campaigns turning
+//!   Table I's symbolic fault-tolerance degrees into quantitative
+//!   degraded-mode bandwidth curves.
 //!
 //! # Quickstart
 //!
@@ -55,7 +58,10 @@ pub mod prelude {
     pub use crate::paper_params;
     pub use crate::system::{Evaluation, System, SystemError};
     pub use crate::tables;
-    pub use mbus_analysis::{memory_bandwidth, AnalysisError, BandwidthBreakdown};
+    pub use mbus_analysis::{
+        degraded_analyze, memory_bandwidth, AnalysisError, BandwidthBreakdown, DegradedBreakdown,
+    };
+    pub use mbus_campaign::{run_campaign, CampaignConfig, CampaignError, CampaignReport};
     pub use mbus_sim::{SimConfig, SimReport, Simulator};
     pub use mbus_stats::ConfidenceInterval;
     pub use mbus_topology::{
@@ -69,6 +75,7 @@ pub mod prelude {
 
 // Re-export the component crates for direct access to their full APIs.
 pub use mbus_analysis as analysis;
+pub use mbus_campaign as campaign;
 pub use mbus_exact as exact;
 pub use mbus_sim as sim;
 pub use mbus_stats as stats;

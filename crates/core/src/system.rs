@@ -190,10 +190,11 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Propagates simulator construction errors.
+    /// Propagates simulator construction errors and invalid fault
+    /// schedules in `config`.
     pub fn simulate(&self, config: &SimConfig) -> Result<SimReport, SystemError> {
         let mut sim = Simulator::build(&self.network, &self.matrix, self.rate)?;
-        Ok(sim.run(config))
+        Ok(sim.run(config)?)
     }
 
     /// Runs `replications` independent simulations in parallel.

@@ -392,12 +392,14 @@ mod tests {
         let net = BusNetwork::new(3, 3, 1, ConnectionScheme::Full).unwrap();
         let ss = resubmission_steady_state(&net, &matrix, 0.8).unwrap();
         let mut sim = mbus_sim::Simulator::build(&net, &matrix, 0.8).unwrap();
-        let report = sim.run(
-            &mbus_sim::SimConfig::new(400_000)
-                .with_warmup(20_000)
-                .with_seed(31)
-                .with_resubmission(true),
-        );
+        let report = sim
+            .run(
+                &mbus_sim::SimConfig::new(400_000)
+                    .with_warmup(20_000)
+                    .with_seed(31)
+                    .with_resubmission(true),
+            )
+            .unwrap();
         assert!(
             (report.bandwidth.mean() - ss.throughput).abs() < 0.01,
             "sim {} vs chain {}",

@@ -68,7 +68,7 @@ fn main() {
         .with_seed(42)
         .with_resubmission(true);
     let start = Instant::now();
-    let report = sim.run(&config);
+    let report = sim.run(&config).expect("valid config");
     println!(
         "run() w/ collector:   {:6.1} ns/cycle (bw {:.3})",
         start.elapsed().as_secs_f64() * 1e9 / sim_cycles as f64,

@@ -445,6 +445,7 @@ impl Simulator {
             for record in records {
                 requests[record.processor] = Some(record.memory);
             }
+            collector.record_alive(&self.mask);
             let outcome = self.step_with_requests(&requests);
             collector.record(outcome);
         }
@@ -454,11 +455,15 @@ impl Simulator {
     /// Runs a full configured simulation: applies the fault schedule,
     /// discards `config.warmup` cycles, measures `config.cycles` cycles,
     /// and aggregates a [`SimReport`].
-    pub fn run(&mut self, config: &SimConfig) -> SimReport {
-        config
-            .faults
-            .validate(self.net.buses())
-            .expect("fault schedule must reference valid buses");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadFaultSchedule`] if `config.faults` references
+    /// a bus outside the network or schedules conflicting same-cycle events
+    /// — fault schedules come from user input (`--faults`), so an invalid
+    /// one must not abort the process.
+    pub fn run(&mut self, config: &SimConfig) -> Result<SimReport, SimError> {
+        config.faults.validate(self.net.buses())?;
         self.reset(config.seed);
         self.set_resubmission(config.resubmission);
         let mut collector = Collector::new(&self.net, config);
@@ -478,12 +483,16 @@ impl Simulator {
                 }
                 fault_cursor += 1;
             }
+            let measured = cycle >= config.warmup;
+            if measured {
+                collector.record_alive(&self.mask);
+            }
             let outcome = self.step();
-            if cycle >= config.warmup {
+            if measured {
                 collector.record(outcome);
             }
         }
-        collector.finish(config)
+        Ok(collector.finish(config))
     }
 }
 
@@ -537,8 +546,14 @@ mod tests {
         let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
         let matrix = hier_matrix(8);
         let config = SimConfig::new(2_000).with_seed(11);
-        let r1 = Simulator::build(&net, &matrix, 1.0).unwrap().run(&config);
-        let r2 = Simulator::build(&net, &matrix, 1.0).unwrap().run(&config);
+        let r1 = Simulator::build(&net, &matrix, 1.0)
+            .unwrap()
+            .run(&config)
+            .unwrap();
+        let r2 = Simulator::build(&net, &matrix, 1.0)
+            .unwrap()
+            .run(&config)
+            .unwrap();
         assert_eq!(r1.bandwidth.mean(), r2.bandwidth.mean());
         assert_eq!(r1.bus_utilization, r2.bus_utilization);
     }
@@ -547,7 +562,7 @@ mod tests {
     fn zero_rate_serves_nothing() {
         let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
         let mut sim = Simulator::build(&net, &hier_matrix(8), 0.0).unwrap();
-        let report = sim.run(&SimConfig::new(500));
+        let report = sim.run(&SimConfig::new(500)).unwrap();
         assert_eq!(report.bandwidth.mean(), 0.0);
         assert_eq!(report.offered_load, 0.0);
     }
@@ -589,7 +604,8 @@ mod tests {
         // Healthy.
         let healthy = Simulator::build(&net, &matrix, 1.0)
             .unwrap()
-            .run(&SimConfig::new(20_000).with_seed(2));
+            .run(&SimConfig::new(20_000).with_seed(2))
+            .unwrap();
         // Three of four buses die at cycle 0.
         let config = SimConfig::new(20_000).with_seed(2).with_faults(
             crate::FaultSchedule::from_events(vec![
@@ -611,7 +627,10 @@ mod tests {
             ])
             .unwrap(),
         );
-        let degraded = Simulator::build(&net, &matrix, 1.0).unwrap().run(&config);
+        let degraded = Simulator::build(&net, &matrix, 1.0)
+            .unwrap()
+            .run(&config)
+            .unwrap();
         assert!(degraded.bandwidth.mean() <= 1.0 + 1e-9);
         assert!(healthy.bandwidth.mean() > 3.5);
         // Dead buses report zero utilization.
@@ -657,11 +676,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fault schedule")]
     fn run_rejects_invalid_fault_schedule() {
         let net = BusNetwork::new(4, 4, 2, ConnectionScheme::Full).unwrap();
         let matrix = UniformModel::new(4, 4).unwrap().matrix();
         let config = SimConfig::new(10).with_faults(crate::FaultSchedule::fail_at(0, 9));
-        let _ = Simulator::build(&net, &matrix, 1.0).unwrap().run(&config);
+        let err = Simulator::build(&net, &matrix, 1.0)
+            .unwrap()
+            .run(&config)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::BadFaultSchedule { ref reason } if reason.contains("bus 9")),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -27,6 +27,14 @@ pub enum SimError {
     Topology(TopologyError),
     /// Zero simulated cycles were requested.
     NoCycles,
+    /// A replication worker thread panicked; the panic payload (when it was
+    /// a string) is preserved instead of aborting the whole process.
+    ReplicationPanicked {
+        /// Which replication (0-based) died.
+        replication: usize,
+        /// The panic message, or a placeholder for non-string payloads.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -44,6 +52,10 @@ impl std::fmt::Display for SimError {
             Self::Workload(err) => write!(f, "workload error: {err}"),
             Self::Topology(err) => write!(f, "topology error: {err}"),
             Self::NoCycles => write!(f, "simulation must run at least one measured cycle"),
+            Self::ReplicationPanicked {
+                replication,
+                message,
+            } => write!(f, "replication {replication} panicked: {message}"),
         }
     }
 }

@@ -35,7 +35,7 @@
 //! let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full)?;
 //! let model = HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1])?;
 //! let config = SimConfig::new(20_000).with_warmup(1_000).with_seed(42);
-//! let report = Simulator::build(&net, &model.matrix(), 1.0)?.run(&config);
+//! let report = Simulator::build(&net, &model.matrix(), 1.0)?.run(&config)?;
 //! // Table II says ≈ 3.97 at N = 8, B = 4.
 //! assert!((report.bandwidth.mean() - 3.97).abs() < 0.1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

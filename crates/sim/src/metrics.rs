@@ -2,7 +2,7 @@
 
 use crate::{CycleOutcome, SimConfig};
 use mbus_stats::{BatchMeans, ConfidenceInterval, Histogram, Welford};
-use mbus_topology::BusNetwork;
+use mbus_topology::{BusNetwork, FaultMask};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
@@ -25,8 +25,16 @@ pub struct SimReport {
     /// Mean requests dropped per cycle because their memory had no alive
     /// bus.
     pub unreachable_rate: f64,
-    /// Per-bus fraction of cycles each bus carried a request.
+    /// Per-bus fraction of *alive* measured cycles each bus carried a
+    /// request. A bus failed for part of the run is judged only over the
+    /// cycles it was in service, so a half-dead bus is not reported as
+    /// half-idle; a bus that was never alive during measurement reports
+    /// 0.0. With no fault schedule this is identical to the fraction of all
+    /// measured cycles.
     pub bus_utilization: Vec<f64>,
+    /// Per-bus count of measured cycles the bus was in service (equal to
+    /// [`SimReport::cycles`] for every bus when no faults occurred).
+    pub bus_alive_cycles: Vec<u64>,
     /// Per-memory service rate (accesses per cycle).
     pub memory_service_rates: Vec<f64>,
     /// Per-processor completion rate (requests served per cycle).
@@ -63,6 +71,7 @@ pub(crate) struct Collector {
     issued: Welford,
     unreachable: Welford,
     bus_busy: Vec<u64>,
+    bus_alive: Vec<u64>,
     memory_served: Vec<u64>,
     processor_served: Vec<u64>,
     served_histogram: Histogram,
@@ -78,12 +87,30 @@ impl Collector {
             issued: Welford::new(),
             unreachable: Welford::new(),
             bus_busy: vec![0; net.buses()],
+            bus_alive: vec![0; net.buses()],
             memory_served: vec![0; net.memories()],
             processor_served: vec![0; net.processors()],
             served_histogram: Histogram::with_max_value(net.capacity()),
             waits: Welford::new(),
             max_wait: 0,
             cycles: 0,
+        }
+    }
+
+    /// Credits each alive bus with one in-service measured cycle. Call once
+    /// per measured cycle with the fault mask in force for that cycle
+    /// (masks change only at cycle starts, so before or after the step is
+    /// equivalent — the engines call it before, which the borrow of the
+    /// step's returned outcome requires).
+    pub(crate) fn record_alive(&mut self, mask: &FaultMask) {
+        if mask.failed_count() == 0 {
+            for alive in &mut self.bus_alive {
+                *alive += 1;
+            }
+        } else {
+            for (bus, alive) in self.bus_alive.iter_mut().enumerate() {
+                *alive += u64::from(mask.is_alive(bus));
+            }
         }
     }
 
@@ -128,8 +155,16 @@ impl Collector {
             bus_utilization: self
                 .bus_busy
                 .iter()
-                .map(|&c| c as f64 / cycles as f64)
+                .zip(&self.bus_alive)
+                .map(|(&busy, &alive)| {
+                    if alive == 0 {
+                        0.0
+                    } else {
+                        busy as f64 / alive as f64
+                    }
+                })
                 .collect(),
+            bus_alive_cycles: self.bus_alive,
             memory_service_rates: self
                 .memory_served
                 .iter()
@@ -176,13 +211,15 @@ mod tests {
     #[test]
     fn collector_aggregates_basic_rates() {
         let config = SimConfig::new(4).with_batch_len(2);
+        let mask = FaultMask::none(2);
         let mut c = Collector::new(&net(), &config);
-        c.record(&outcome(2));
-        c.record(&outcome(1));
-        c.record(&outcome(2));
-        c.record(&outcome(1));
+        for served in [2, 1, 2, 1] {
+            c.record_alive(&mask);
+            c.record(&outcome(served));
+        }
         let report = c.finish(&config);
         assert_eq!(report.cycles, 4);
+        assert_eq!(report.bus_alive_cycles, vec![4, 4]);
         assert!((report.bandwidth.mean() - 1.5).abs() < 1e-12);
         assert!((report.offered_load - 4.0).abs() < 1e-12);
         assert!((report.acceptance - 0.375).abs() < 1e-12);
@@ -203,6 +240,7 @@ mod tests {
         let config = SimConfig::new(2);
         let mut c = Collector::new(&net(), &config);
         // Only processor 0 ever served: fairness = 1/4.
+        c.record_alive(&FaultMask::none(2));
         c.record(&CycleOutcome {
             issued: 4,
             active: 4,
@@ -230,5 +268,49 @@ mod tests {
         assert_eq!(report.bandwidth.mean(), 0.0);
         assert_eq!(report.acceptance, 1.0);
         assert_eq!(report.mean_wait, 0.0);
+        assert_eq!(report.bus_utilization, vec![0.0, 0.0]);
+        assert_eq!(report.bus_alive_cycles, vec![0, 0]);
+    }
+
+    #[test]
+    fn bus_utilization_is_over_alive_cycles() {
+        // Bus 0 is busy every cycle it is alive, but is failed for two of
+        // the four measured cycles: utilization must be 1.0, not 0.5.
+        let config = SimConfig::new(4);
+        let mut c = Collector::new(&net(), &config);
+        let busy0 = CycleOutcome {
+            issued: 4,
+            active: 4,
+            unreachable: 0,
+            grants: vec![Grant {
+                processor: 0,
+                memory: 0,
+                bus: Some(0),
+            }],
+            waits: vec![0],
+        };
+        let idle = CycleOutcome {
+            issued: 4,
+            active: 4,
+            unreachable: 4,
+            grants: vec![],
+            waits: vec![],
+        };
+        let healthy = FaultMask::none(2);
+        let mut degraded = FaultMask::none(2);
+        degraded.fail(0).unwrap();
+        for (out, mask) in [
+            (&busy0, &healthy),
+            (&idle, &degraded),
+            (&idle, &degraded),
+            (&busy0, &healthy),
+        ] {
+            c.record_alive(mask);
+            c.record(out);
+        }
+        let report = c.finish(&config);
+        assert_eq!(report.bus_alive_cycles, vec![2, 4]);
+        assert!((report.bus_utilization[0] - 1.0).abs() < 1e-12);
+        assert_eq!(report.bus_utilization[1], 0.0);
     }
 }

@@ -223,11 +223,13 @@ impl ReferenceSimulator {
 
     /// Runs a full configured simulation, mirroring
     /// [`Simulator::run`](crate::Simulator::run).
-    pub fn run(&mut self, config: &SimConfig) -> SimReport {
-        config
-            .faults
-            .validate(self.net.buses())
-            .expect("fault schedule must reference valid buses");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadFaultSchedule`] for an invalid
+    /// `config.faults`, exactly like the optimized engine.
+    pub fn run(&mut self, config: &SimConfig) -> Result<SimReport, SimError> {
+        config.faults.validate(self.net.buses())?;
         self.reset(config.seed);
         self.set_resubmission(config.resubmission);
         let mut collector = Collector::new(&self.net, config);
@@ -247,12 +249,16 @@ impl ReferenceSimulator {
                 }
                 fault_cursor += 1;
             }
+            let measured = cycle >= config.warmup;
+            if measured {
+                collector.record_alive(&self.mask);
+            }
             let outcome = self.step();
-            if cycle >= config.warmup {
+            if measured {
                 collector.record(&outcome);
             }
         }
-        collector.finish(config)
+        Ok(collector.finish(config))
     }
 }
 

@@ -27,7 +27,9 @@ pub struct ReplicationReport {
 /// # Errors
 ///
 /// * `replications == 0` or zero measured cycles → [`SimError::NoCycles`];
-/// * simulator construction errors are propagated.
+/// * simulator construction errors are propagated;
+/// * a panicking replication worker → [`SimError::ReplicationPanicked`]
+///   (the process keeps running; the panic message is preserved).
 pub fn run_replications(
     net: &BusNetwork,
     matrix: &RequestMatrix,
@@ -50,11 +52,29 @@ pub fn run_replications(
                 scope.spawn(move || sim.run(&cfg))
             })
             .collect();
-        handles
+        // Join *every* handle before sequencing the results: a short-circuit
+        // on the first error would leave panicked threads un-joined and make
+        // the scope itself re-panic on exit.
+        let joined: Vec<Result<SimReport, SimError>> = handles
             .into_iter()
-            .map(|h| h.join().expect("replication thread panicked"))
-            .collect()
-    });
+            .enumerate()
+            .map(|(i, h)| match h.join() {
+                Ok(result) => result,
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(SimError::ReplicationPanicked {
+                        replication: i,
+                        message,
+                    })
+                }
+            })
+            .collect();
+        joined.into_iter().collect::<Result<_, SimError>>()
+    })?;
 
     let mut means = Welford::new();
     let mut acceptance = Welford::new();
@@ -124,6 +144,25 @@ mod tests {
         let report = run_replications(&net, &matrix, 0.6, &config, 1).unwrap();
         assert_eq!(report.replications, 1);
         assert!(report.bandwidth.half_width() > 0.0);
+    }
+
+    #[test]
+    fn replication_panic_surfaces_as_error() {
+        let net = BusNetwork::new(8, 8, 2, ConnectionScheme::Full).unwrap();
+        let matrix = HierarchicalModel::two_level_paired(8, 4, [0.6, 0.3, 0.1])
+            .unwrap()
+            .matrix();
+        // `batch_len == 0` slips past the builder's assert via the public
+        // field and makes the collector panic inside the worker thread; the
+        // runner must report it instead of aborting the process.
+        let mut config = SimConfig::new(100);
+        config.batch_len = 0;
+        let err = run_replications(&net, &matrix, 1.0, &config, 2).unwrap_err();
+        assert!(
+            matches!(err, SimError::ReplicationPanicked { replication: 0, ref message }
+                if message.contains("batch length")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

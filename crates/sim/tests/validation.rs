@@ -21,6 +21,7 @@ fn simulate(net: &BusNetwork, matrix: &RequestMatrix, r: f64) -> mbus_sim::SimRe
             .with_seed(2718)
             .with_batch_len(1_000),
     )
+    .unwrap()
 }
 
 /// For the single-connection network the analysis emits per-bus busy

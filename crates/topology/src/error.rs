@@ -86,6 +86,11 @@ pub enum TopologyError {
         /// The largest supported `M`.
         limit: usize,
     },
+    /// A textual fault-mask spec (`"buses:failed,failed,..."`) did not parse.
+    BadMaskSyntax {
+        /// What was wrong with the input.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -145,6 +150,9 @@ impl std::fmt::Display for TopologyError {
                 "M = {memories} memories exceeds the served-table limit of {limit} \
                  (the table has 2^M entries)"
             ),
+            Self::BadMaskSyntax { reason } => {
+                write!(f, "bad fault-mask spec: {reason}")
+            }
         }
     }
 }

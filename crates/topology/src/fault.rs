@@ -132,6 +132,54 @@ impl FaultMask {
     }
 }
 
+/// The canonical text form `"buses:failed,failed,..."` — e.g. `"4:1,3"` for
+/// a 4-bus mask with buses 1 and 3 down, `"4:"` for a healthy one. Round-
+/// trips through [`FaultMask::from_str`](std::str::FromStr), which is how
+/// masks persist in campaign reports and CLI arguments.
+impl std::fmt::Display for FaultMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:", self.buses())?;
+        for (i, bus) in self.iter_failed().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{bus}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FaultMask {
+    type Err = TopologyError;
+
+    /// Parses the [`Display`](std::fmt::Display) form. Failed buses may come
+    /// in any order and repeat; they must all lie below the bus count.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |reason: String| TopologyError::BadMaskSyntax { reason };
+        let (buses, failed) = s
+            .split_once(':')
+            .ok_or_else(|| bad(format!("'{s}' is missing the ':' separator")))?;
+        let buses: usize = buses
+            .parse()
+            .map_err(|_| bad(format!("bad bus count '{buses}'")))?;
+        if buses == 0 {
+            return Err(bad("bus count must be positive".into()));
+        }
+        let mut mask = Self::none(buses);
+        if failed.is_empty() {
+            return Ok(mask);
+        }
+        for part in failed.split(',') {
+            let bus: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("bad bus index '{part}'")))?;
+            mask.fail(bus)?;
+        }
+        Ok(mask)
+    }
+}
+
 /// A network observed through a fault mask.
 ///
 /// # Examples
@@ -333,5 +381,72 @@ mod tests {
         let mask = FaultMask::with_failures(1, &[0]).unwrap();
         let view = DegradedView::new(&net, &mask).unwrap();
         assert!(view.fully_connected());
+    }
+
+    #[test]
+    fn mask_text_round_trips() {
+        let mask = FaultMask::with_failures(4, &[1, 3]).unwrap();
+        assert_eq!(mask.to_string(), "4:1,3");
+        assert_eq!("4:1,3".parse::<FaultMask>().unwrap(), mask);
+        // A healthy mask renders with an empty failure list.
+        let healthy = FaultMask::none(6);
+        assert_eq!(healthy.to_string(), "6:");
+        assert_eq!("6:".parse::<FaultMask>().unwrap(), healthy);
+        // Order and duplicates in the input are normalized away.
+        assert_eq!("4:3,1,3".parse::<FaultMask>().unwrap(), mask);
+        assert_eq!("4: 3 , 1 ".parse::<FaultMask>().unwrap(), mask);
+    }
+
+    #[test]
+    fn mask_parse_rejects_malformed_specs() {
+        let syntax = |s: &str| {
+            assert!(
+                matches!(
+                    s.parse::<FaultMask>(),
+                    Err(TopologyError::BadMaskSyntax { .. })
+                ),
+                "'{s}' should be a syntax error"
+            );
+        };
+        syntax("4"); // no separator
+        syntax("x:1");
+        syntax("0:"); // zero buses
+        syntax("4:a");
+        syntax("4:1,,3"); // empty element
+                          // Out-of-range failures surface as the usual index error.
+        assert!(matches!(
+            "4:4".parse::<FaultMask>(),
+            Err(TopologyError::IndexOutOfRange {
+                index: 4,
+                len: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn degraded_view_exposes_its_parts() {
+        let net = full_net();
+        let mask = FaultMask::with_failures(4, &[2]).unwrap();
+        let view = DegradedView::new(&net, &mask).unwrap();
+        assert_eq!(view.network().buses(), 4);
+        assert_eq!(view.mask().failed_count(), 1);
+        assert_eq!(view.alive_buses_of_memory(0), 3);
+        // Full connection: redundancy degrades uniformly with each failure.
+        assert_eq!(view.min_residual_redundancy(), 2);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn mask_display_parse_round_trip(
+            buses in 1usize..32,
+            failures in proptest::collection::vec(0usize..32, 0..8),
+        ) {
+            let failures: Vec<usize> =
+                failures.into_iter().filter(|&bus| bus < buses).collect();
+            let mask = FaultMask::with_failures(buses, &failures).unwrap();
+            let parsed: FaultMask = mask.to_string().parse().unwrap();
+            proptest::prop_assert_eq!(parsed, mask);
+        }
     }
 }

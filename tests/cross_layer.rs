@@ -29,12 +29,14 @@ fn simulation_tracks_exact_for_all_schemes() {
                 let net = BusNetwork::new(n, n, b, scheme).unwrap();
                 let exact = enumerate::exact_bandwidth(&net, matrix, r).unwrap();
                 let mut sim = Simulator::build(&net, matrix, r).unwrap();
-                let report = sim.run(
-                    &SimConfig::new(150_000)
-                        .with_warmup(5_000)
-                        .with_seed(1234)
-                        .with_batch_len(1_000),
-                );
+                let report = sim
+                    .run(
+                        &SimConfig::new(150_000)
+                            .with_warmup(5_000)
+                            .with_seed(1234)
+                            .with_batch_len(1_000),
+                    )
+                    .unwrap();
                 let gap = (report.bandwidth.mean() - exact).abs();
                 assert!(
                     gap < 0.04,
@@ -157,7 +159,9 @@ fn arbitration_is_fair_across_symmetric_processors() {
     for (name, scheme) in schemes(n, b) {
         let net = BusNetwork::new(n, n, b, scheme).unwrap();
         let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
-        let report = sim.run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(41));
+        let report = sim
+            .run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(41))
+            .unwrap();
         let fairness = report.processor_fairness();
         if name == "kclass" {
             // Processors 0-1 favor class C_1 memories (one bus of four):
@@ -189,7 +193,9 @@ fn asymmetric_workload_shows_in_fairness() {
     let model = FavoriteModel::new(6, 4, 0.8).unwrap();
     let net = BusNetwork::new(6, 4, 2, ConnectionScheme::Full).unwrap();
     let mut sim = Simulator::build(&net, &model.matrix(), 1.0).unwrap();
-    let report = sim.run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(43));
+    let report = sim
+        .run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(43))
+        .unwrap();
     assert!(report.processor_fairness() < 0.999);
     // Processors 2 and 3 own exclusive favorites and finish more often than
     // processor 0, which shares memory 0 with processor 4.

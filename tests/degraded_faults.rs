@@ -1,0 +1,204 @@
+//! Cross-validation of the analytical degraded-mode bandwidth
+//! (`mbus_analysis::degraded`) against the fault-injecting simulator.
+//!
+//! Three kinds of pins:
+//!
+//! * masks where the analytical value is *exact* (no independence
+//!   approximation survives) must agree with the simulation within its
+//!   batch-means confidence interval;
+//! * masks where the analysis approximates must track the simulation to a
+//!   few percent, like the healthy-case validation grid;
+//! * the K-class death law — class `C_j` serves zero requests after
+//!   `j + B − K` worst-case failures while higher classes keep serving —
+//!   must hold in the simulated per-memory service rates, not just in the
+//!   formulas.
+
+use multibus::campaign::cross_validate;
+use multibus::prelude::*;
+use multibus::sim::{FaultEvent, FaultEventKind, FaultSchedule};
+
+const CYCLES: u64 = 60_000;
+
+fn hier(n: usize) -> RequestMatrix {
+    multibus::paper_params::hierarchical(n).unwrap().matrix()
+}
+
+fn lowest_first(buses: usize, f: usize) -> FaultMask {
+    let failed: Vec<usize> = (0..f).collect();
+    FaultMask::with_failures(buses, &failed).unwrap()
+}
+
+#[test]
+fn exact_masks_agree_with_simulation_within_ci() {
+    // Pinned (scheme, mask) cases where the degraded analysis is exact:
+    //
+    // 1. Full 8x8x4 with three buses down: at r = 1 every processor
+    //    requests every cycle, so at least one memory is always selected
+    //    and the single alive bus is saturated — bandwidth is exactly 1.
+    // 2. Single 8x8x8 (one memory per bus) with buses {0, 3} down: each
+    //    alive bus is busy exactly when its memory is requested, so the
+    //    busy probability is the exact per-memory X_j.
+    // 3. Crossbar with any mask: bus failures are ignored entirely.
+    let n = 8;
+    let matrix = hier(n);
+    let cases: Vec<(&str, BusNetwork, FaultMask)> = vec![
+        (
+            "full, 1 alive bus",
+            BusNetwork::new(n, n, 4, ConnectionScheme::Full).unwrap(),
+            FaultMask::with_failures(4, &[0, 1, 2]).unwrap(),
+        ),
+        (
+            "single B=M, 2 down",
+            BusNetwork::new(n, n, 8, ConnectionScheme::balanced_single(n, 8).unwrap()).unwrap(),
+            FaultMask::with_failures(8, &[0, 3]).unwrap(),
+        ),
+        (
+            "crossbar, mask ignored",
+            BusNetwork::new(n, n, 4, ConnectionScheme::Crossbar).unwrap(),
+            FaultMask::with_failures(4, &[1, 2]).unwrap(),
+        ),
+    ];
+    for (name, net, mask) in cases {
+        let check = cross_validate(&net, &matrix, 1.0, &mask, CYCLES, 11).unwrap();
+        // Allow the CI plus a hair of slack for the CI estimate itself.
+        let tolerance = check.sim_half_width.mul_add(3.0, 2e-3);
+        assert!(
+            check.gap.abs() <= tolerance,
+            "{name}: analytical {} vs simulated {} ± {} (gap {})",
+            check.analytical,
+            check.simulated,
+            check.sim_half_width,
+            check.gap
+        );
+    }
+}
+
+#[test]
+fn approximate_masks_track_simulation_to_a_few_percent() {
+    // Where the independence approximation is engaged, the degraded
+    // analysis should stay as close to the simulation as the healthy
+    // analysis does on the validation grid (a few percent).
+    let n = 8;
+    let b = 4;
+    let matrix = hier(n);
+    let cases: Vec<(&str, ConnectionScheme, Vec<usize>)> = vec![
+        ("full, 1 down", ConnectionScheme::Full, vec![2]),
+        ("full, 2 down", ConnectionScheme::Full, vec![0, 3]),
+        (
+            "partial g=2, 1 down",
+            ConnectionScheme::PartialGroups { groups: 2 },
+            vec![0],
+        ),
+        (
+            "partial g=2, group 0 dead",
+            ConnectionScheme::PartialGroups { groups: 2 },
+            vec![0, 1],
+        ),
+        (
+            "kclass K=4, 1 down",
+            ConnectionScheme::uniform_classes(n, b).unwrap(),
+            vec![0],
+        ),
+        (
+            "kclass K=4, 2 down",
+            ConnectionScheme::uniform_classes(n, b).unwrap(),
+            vec![0, 1],
+        ),
+    ];
+    for (name, scheme, failed) in cases {
+        let net = BusNetwork::new(n, n, b, scheme).unwrap();
+        let mask = FaultMask::with_failures(b, &failed).unwrap();
+        let check = cross_validate(&net, &matrix, 1.0, &mask, CYCLES, 13).unwrap();
+        let relative = check.gap.abs() / check.simulated.max(1e-9);
+        assert!(
+            relative < 0.06,
+            "{name}: analytical {} vs simulated {} ({:.1}% off)",
+            check.analytical,
+            check.simulated,
+            100.0 * relative
+        );
+    }
+}
+
+#[test]
+fn kclass_death_law_holds_in_simulated_service_rates() {
+    // 8x8x4, K = 4: class C_j (1-based) connects buses 0..j+B−K, so under
+    // lowest-bus-first failures it serves zero requests once
+    // f ≥ j + B − K, while every higher class keeps serving.
+    let n = 8;
+    let b = 4;
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
+    let matrix = hier(n);
+    for f in 0..=b {
+        let mask = lowest_first(b, f);
+        let schedule = FaultSchedule::from_events(
+            mask.iter_failed()
+                .map(|bus| FaultEvent {
+                    cycle: 0,
+                    bus,
+                    kind: FaultEventKind::Fail,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+        let report = sim
+            .run(
+                &SimConfig::new(CYCLES)
+                    .with_warmup(CYCLES / 20)
+                    .with_seed(29 + f as u64)
+                    .with_faults(schedule),
+            )
+            .unwrap();
+        let analytic = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+        let per_class = analytic.per_class_bandwidth.as_ref().unwrap();
+        for (c, &analytic_bw) in per_class.iter().enumerate() {
+            let memories = net.memories_of_class(c).unwrap();
+            let sim_service: f64 = report.memory_service_rates[memories].iter().sum();
+            if f >= net.kclass_bus_count(c) {
+                assert_eq!(sim_service, 0.0, "f={f}: class {c} must be dead");
+                assert_eq!(analytic_bw, 0.0, "f={f}: analytical class {c} dead");
+            } else {
+                assert!(sim_service > 0.0, "f={f}: class {c} must keep serving");
+                assert!(analytic_bw > 0.0, "f={f}: analytical class {c} alive");
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_view_and_simulated_unreachable_load_agree() {
+    // The simulator reports the offered load it dropped as unreachable;
+    // the analysis derives the same quantity from the request matrix and
+    // the degraded view's reachability. They describe one network.
+    let n = 8;
+    let net = BusNetwork::new(n, n, 4, ConnectionScheme::balanced_single(n, 4).unwrap()).unwrap();
+    let matrix = hier(n);
+    let mask = FaultMask::with_failures(4, &[1]).unwrap();
+    let view = DegradedView::new(&net, &mask).unwrap();
+    assert_eq!(view.accessible_memory_count(), 6);
+
+    let schedule = FaultSchedule::from_events(vec![FaultEvent {
+        cycle: 0,
+        bus: 1,
+        kind: FaultEventKind::Fail,
+    }])
+    .unwrap();
+    let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
+    let report = sim
+        .run(
+            &SimConfig::new(CYCLES)
+                .with_warmup(CYCLES / 20)
+                .with_seed(3)
+                .with_faults(schedule),
+        )
+        .unwrap();
+    let analytic = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+    assert!((analytic.accessible_fraction - view.accessible_fraction()).abs() < 1e-12);
+    assert!(
+        (report.unreachable_rate - analytic.unreachable_load).abs() < 0.02,
+        "simulated unreachable {} vs analytical {}",
+        report.unreachable_rate,
+        analytic.unreachable_load
+    );
+}

@@ -32,6 +32,7 @@ fn simulate_with_failures(
             .with_seed(77)
             .with_faults(fail_at_start(failures)),
     )
+    .unwrap()
     .bandwidth
     .mean()
 }
@@ -86,12 +87,14 @@ fn single_connection_unreachable_accounting() {
     let matrix = multibus::paper_params::hierarchical(n).unwrap().matrix();
     let net = BusNetwork::new(n, n, 4, ConnectionScheme::balanced_single(n, 4).unwrap()).unwrap();
     let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
-    let report = sim.run(
-        &SimConfig::new(50_000)
-            .with_warmup(1_000)
-            .with_seed(3)
-            .with_faults(fail_at_start(&[0])),
-    );
+    let report = sim
+        .run(
+            &SimConfig::new(50_000)
+                .with_warmup(1_000)
+                .with_seed(3)
+                .with_faults(fail_at_start(&[0])),
+        )
+        .unwrap();
     // Memories 0, 1 (cluster 0's pair) are on bus 0: their traffic is
     // dropped as unreachable. Processors 0 and 1 send 0.9 of their traffic
     // to those two memories, the other six send 2·(0.1/6) each.
@@ -156,12 +159,14 @@ fn repair_restores_bandwidth() {
     ])
     .unwrap();
     let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
-    let repaired = sim.run(
-        &SimConfig::new(100_000)
-            .with_warmup(5_000)
-            .with_seed(9)
-            .with_faults(schedule),
-    );
+    let repaired = sim
+        .run(
+            &SimConfig::new(100_000)
+                .with_warmup(5_000)
+                .with_seed(9)
+                .with_faults(schedule),
+        )
+        .unwrap();
     let healthy = enumerate::exact_bandwidth(&net, &matrix, 1.0).unwrap();
     assert!(
         (repaired.bandwidth.mean() - healthy).abs() < 0.05,

@@ -15,7 +15,9 @@ fn low_classes_are_served_less_under_saturation() {
     let net = BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, b).unwrap()).unwrap();
     let matrix = UniformModel::new(n, n).unwrap().matrix();
     let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
-    let report = sim.run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(21));
+    let report = sim
+        .run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(21))
+        .unwrap();
     // Classes: C_1 = {0,1} (1 bus) … C_4 = {6,7} (4 buses).
     let class_rate = |c: usize| {
         let range = net.memories_of_class(c).unwrap();
@@ -86,7 +88,7 @@ fn kclass_low_buses_can_be_unreachable() {
     // The simulator agrees: utilization of buses 0..3 is exactly zero.
     let matrix = UniformModel::new(8, 8).unwrap().matrix();
     let mut sim = Simulator::build(&net, &matrix, 1.0).unwrap();
-    let report = sim.run(&SimConfig::new(20_000).with_seed(2));
+    let report = sim.run(&SimConfig::new(20_000).with_seed(2)).unwrap();
     for bus in 0..3 {
         assert_eq!(
             report.bus_utilization[bus], 0.0,
