@@ -10,7 +10,7 @@
 
 use crate::paper::kclass_bandwidth_from_pmfs;
 use crate::AnalysisError;
-use mbus_stats::prob::PoissonBinomial;
+use mbus_stats::prob::{check, PoissonBinomial};
 use mbus_topology::{BusNetwork, ConnectionScheme};
 use mbus_workload::RequestMatrix;
 use serde::{Deserialize, Serialize};
@@ -87,6 +87,11 @@ pub fn analyze(
     } else {
         1.0
     };
+    check::assert_probability("request acceptance probability", acceptance);
+    check::assert_bandwidth_bounds(bandwidth, net.capacity(), net.processors(), net.memories());
+    if let Some(busy) = &per_bus_busy {
+        check::assert_probabilities("per-bus busy probabilities", busy);
+    }
     Ok(BandwidthBreakdown {
         bandwidth,
         offered_load,
@@ -175,6 +180,7 @@ fn bandwidth_from_probs(
             let k = class_sizes.len();
             let mut pmfs = Vec::with_capacity(k);
             for c in 0..k {
+                // lint:allow(no_panic, class ranges exist for every class index; BusNetwork::new validated the K-class layout)
                 let range = net.memories_of_class(c).expect("validated K-class");
                 let pb = poisson_binomial(&xs[range])?;
                 pmfs.push(pb.pmf_slice().to_vec());

@@ -30,6 +30,7 @@
 
 use crate::bandwidth::{poisson_binomial, validate};
 use crate::AnalysisError;
+use mbus_stats::prob::check;
 use mbus_topology::{BusNetwork, ConnectionScheme, DegradedView, FaultMask};
 use mbus_workload::RequestMatrix;
 use serde::{Deserialize, Serialize};
@@ -188,6 +189,7 @@ pub fn degraded_analyze(
             let k = class_sizes.len();
             let mut pmfs = Vec::with_capacity(k);
             for c in 0..k {
+                // lint:allow(no_panic, class ranges exist for every class index; BusNetwork::new validated the K-class layout)
                 let range = net.memories_of_class(c).expect("validated K-class");
                 let pb = poisson_binomial(&xs[range])?;
                 pmfs.push(pb.pmf_slice().to_vec());
@@ -261,6 +263,16 @@ pub fn degraded_analyze(
     } else {
         1.0
     };
+    check::assert_probability("degraded acceptance probability", acceptance);
+    check::assert_probability("accessible memory fraction", view.accessible_fraction());
+    check::assert_probabilities("degraded per-bus busy probabilities", &per_bus_busy);
+    // A degraded network serves at most min(alive buses, N, M) requests per
+    // cycle (the crossbar has no shared buses to fail, so it keeps min(N, M)).
+    let alive_capacity = match net.kind() {
+        mbus_topology::SchemeKind::Crossbar => net.capacity(),
+        _ => mask.alive_count(),
+    };
+    check::assert_bandwidth_bounds(bandwidth, alive_capacity, net.processors(), net.memories());
     Ok(DegradedBreakdown {
         bandwidth,
         offered_load,

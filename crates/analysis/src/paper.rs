@@ -8,7 +8,7 @@
 //! asserts the two agree on homogeneous inputs.
 
 use crate::AnalysisError;
-use mbus_stats::prob::Binomial;
+use mbus_stats::prob::{check, Binomial};
 use mbus_workload::{Fractions, Hierarchy};
 
 fn check_prob(name: &'static str, value: f64) -> Result<(), AnalysisError> {
@@ -67,10 +67,14 @@ pub fn eq2_request_probability(
     for (i, &count) in counts.iter().enumerate() {
         none *= (1.0 - r * fractions.get(i)).powi(count as i32);
     }
-    Ok(1.0 - none)
+    Ok(check::checked_probability(
+        "eq (2) request probability X",
+        1.0 - none,
+    ))
 }
 
-/// The uniform-model request probability `X = 1 − (1 − r/M)^N`.
+/// The uniform-model request probability `X = 1 − (1 − r/M)^N` — the
+/// eq (2) special case with every fraction equal to `1/M`.
 ///
 /// # Errors
 ///
@@ -79,7 +83,10 @@ pub fn uniform_request_probability(n: usize, m: usize, r: f64) -> Result<f64, An
     if !r.is_finite() || !(0.0..=1.0).contains(&r) {
         return Err(AnalysisError::InvalidRate { value: r });
     }
-    Ok(1.0 - (1.0 - r / m as f64).powi(n as i32))
+    Ok(check::checked_probability(
+        "uniform request probability X",
+        1.0 - (1.0 - r / m as f64).powi(n as i32),
+    ))
 }
 
 /// Equations (3)–(4): bandwidth of the multiple bus network with **full**
@@ -96,7 +103,9 @@ pub fn uniform_request_probability(n: usize, m: usize, r: f64) -> Result<f64, An
 /// Returns [`AnalysisError::InvalidProbability`] if `X ∉ [0, 1]`.
 pub fn eq4_full_bandwidth(m: usize, b: usize, x: f64) -> Result<f64, AnalysisError> {
     check_prob("request probability X", x)?;
-    Ok(Binomial::new(m as u64, x).expected_min_with(b as u64))
+    let bw = Binomial::new(m as u64, x).expected_min_with(b as u64);
+    check::assert_bandwidth_bounds(bw, b, m, m);
+    Ok(bw)
 }
 
 /// Equations (5)–(6): bandwidth of the **single** bus–memory connection
@@ -108,10 +117,13 @@ pub fn eq4_full_bandwidth(m: usize, b: usize, x: f64) -> Result<f64, AnalysisErr
 /// Returns [`AnalysisError::InvalidProbability`] if `X ∉ [0, 1]`.
 pub fn eq6_single_bandwidth(memories_per_bus: &[usize], x: f64) -> Result<f64, AnalysisError> {
     check_prob("request probability X", x)?;
-    Ok(memories_per_bus
+    let bw: f64 = memories_per_bus
         .iter()
         .map(|&mi| 1.0 - (1.0 - x).powi(mi as i32))
-        .sum())
+        .sum();
+    let m: usize = memories_per_bus.iter().sum();
+    check::assert_bandwidth_bounds(bw, memories_per_bus.len(), m, m);
+    Ok(bw)
 }
 
 /// Equations (7)–(9): bandwidth of the **partial bus network** with `g`
@@ -133,7 +145,9 @@ pub fn eq9_partial_bandwidth(m: usize, b: usize, g: usize, x: f64) -> Result<f64
         });
     }
     let per_group = Binomial::new((m / g) as u64, x).expected_min_with((b / g) as u64);
-    Ok(g as f64 * per_group)
+    let bw = g as f64 * per_group;
+    check::assert_bandwidth_bounds(bw, b, m, m);
+    Ok(bw)
 }
 
 /// Equations (10)–(12): bandwidth of the **partial bus network with K
@@ -181,6 +195,9 @@ pub fn eq12_kclass_bandwidth(
 /// generalization in [`crate::bandwidth`], which feeds Poisson-binomial
 /// pmfs instead of binomial ones.
 pub fn kclass_bandwidth_from_pmfs(pmfs: &[Vec<f64>], b: usize) -> f64 {
+    for pmf in pmfs {
+        check::assert_distribution_sums_to_one("class request pmf Q_j", pmf);
+    }
     let k = pmfs.len();
     let mut total = 0.0;
     for i in 1..=b {
@@ -200,18 +217,23 @@ pub fn kclass_bandwidth_from_pmfs(pmfs: &[Vec<f64>], b: usize) -> f64 {
         }
         total += 1.0 - idle;
     }
+    let m: usize = pmfs.iter().map(|pmf| pmf.len().saturating_sub(1)).sum();
+    check::assert_bandwidth_bounds(total, b, m, m);
     total
 }
 
 /// The crossbar bound: with no bus interference every requested module is
-/// served, so `MBW_xbar = M·X`.
+/// served, so `MBW_xbar = M·X` — the `B ≥ M` limit of eq (4), where
+/// `E[min(D, B)] = E[D]`.
 ///
 /// # Errors
 ///
 /// Returns [`AnalysisError::InvalidProbability`] if `X ∉ [0, 1]`.
 pub fn crossbar_bandwidth(m: usize, x: f64) -> Result<f64, AnalysisError> {
     check_prob("request probability X", x)?;
-    Ok(m as f64 * x)
+    let bw = m as f64 * x;
+    check::assert_bandwidth_bounds(bw, m, m, m);
+    Ok(bw)
 }
 
 #[cfg(test)]
@@ -394,5 +416,16 @@ mod tests {
             let direct = uniform_request_probability(8, 8, r).unwrap();
             assert!((via_eq2 - direct).abs() < 1e-12);
         }
+    }
+
+    /// The acceptance demo for the invariant layer: feeding a pmf that does
+    /// not sum to one into a formula function trips the debug-time
+    /// distribution check instead of silently producing a wrong bandwidth.
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "fires only with debug assertions")]
+    #[should_panic(expected = "sums to")]
+    fn broken_class_pmf_trips_the_invariant_checker() {
+        let broken = vec![vec![0.5, 0.2], vec![0.6, 0.4]];
+        let _ = kclass_bandwidth_from_pmfs(&broken, 2);
     }
 }

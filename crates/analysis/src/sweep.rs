@@ -117,11 +117,11 @@ pub fn buses_for_crossbar_fraction(
         });
     }
     let xbar = {
-        let net = BusNetwork::new(n, n, n, ConnectionScheme::Crossbar).unwrap();
+        let net = BusNetwork::new(n, n, n, ConnectionScheme::Crossbar).map_err(AnalysisError::from)?;
         bandwidth::memory_bandwidth(&net, matrix, r)?
     };
     for b in 1..=n {
-        let net = BusNetwork::new(n, n, b, ConnectionScheme::Full).unwrap();
+        let net = BusNetwork::new(n, n, b, ConnectionScheme::Full).map_err(AnalysisError::from)?;
         if bandwidth::memory_bandwidth(&net, matrix, r)? >= fraction * xbar {
             return Ok(b);
         }

@@ -8,7 +8,8 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     mbus_bench::banner("Table I - cost and fault tolerance (N=16, B=8, g=2, K=8)");
-    print!("{}", cost_table_markdown(&tables::table1(16, 8, 2, 8)));
+    let rows = tables::table1(16, 8, 2, 8).expect("paper's Table I parameters are valid");
+    print!("{}", cost_table_markdown(&rows));
 
     c.bench_function("table1_cost_model", |b| {
         b.iter(|| tables::table1(black_box(16), black_box(8), 2, 8))

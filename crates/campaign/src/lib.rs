@@ -56,6 +56,12 @@ pub enum CampaignError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An internal invariant of the campaign engine was violated — should
+    /// never surface; reported instead of panicking.
+    Internal {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -64,6 +70,7 @@ impl std::fmt::Display for CampaignError {
             Self::Analysis(err) => write!(f, "analysis error: {err}"),
             Self::Sim(err) => write!(f, "simulation error: {err}"),
             Self::BadConfig { reason } => write!(f, "bad campaign config: {reason}"),
+            Self::Internal { reason } => write!(f, "internal campaign error: {reason}"),
         }
     }
 }
@@ -73,7 +80,7 @@ impl std::error::Error for CampaignError {
         match self {
             Self::Analysis(err) => Some(err),
             Self::Sim(err) => Some(err),
-            Self::BadConfig { .. } => None,
+            Self::BadConfig { .. } | Self::Internal { .. } => None,
         }
     }
 }
@@ -346,11 +353,12 @@ pub fn run_campaign(
             let failed: Vec<usize> = (0..f).collect();
             let mask = FaultMask::with_failures(b, &failed).map_err(AnalysisError::from)?;
             let breakdown = degraded_analyze(net, matrix, r, &mask)?;
-            decay.push(
-                breakdown
-                    .per_class_bandwidth
-                    .expect("K-class analysis reports per-class bandwidth"),
-            );
+            let Some(per_class) = breakdown.per_class_bandwidth else {
+                return Err(CampaignError::Internal {
+                    reason: "K-class analysis reported no per-class bandwidth".to_owned(),
+                });
+            };
+            decay.push(per_class);
         }
         Some(decay)
     } else {

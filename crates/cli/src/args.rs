@@ -22,7 +22,9 @@ impl Args {
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 let value = match iter.peek() {
-                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    Some(next) if !next.starts_with("--") => {
+                        iter.next().unwrap_or_else(|| "true".to_owned())
+                    }
                     _ => "true".to_owned(),
                 };
                 parsed.options.insert(key.to_owned(), value);

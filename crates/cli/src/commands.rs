@@ -73,7 +73,8 @@ pub fn table(args: &Args) -> Result<(), String> {
         let b = args.get_or("b", 8usize)?;
         let g = args.get_or("g", 2usize)?;
         let k = args.get_or("k", b)?;
-        print!("{}", cost_table_markdown(&tables::table1(n, b, g, k)));
+        let rows = tables::table1(n, b, g, k).map_err(|e| e.to_string())?;
+        print!("{}", cost_table_markdown(&rows));
         return Ok(());
     }
     let table = match id {
@@ -532,7 +533,8 @@ pub fn experiments() -> Result<(), String> {
          models; paper values are the printed tables. `(–)` marks cells \
          illegible in the source scan — regenerated but not asserted.\n"
     );
-    println!("{}", cost_table_markdown(&tables::table1(16, 8, 2, 8)));
+    let rows = tables::table1(16, 8, 2, 8).map_err(|e| e.to_string())?;
+    println!("{}", cost_table_markdown(&rows));
     println!("(Table I instantiated at N = 16, B = 8, g = 2, K = 8.)\n");
     for table in tables::all_bandwidth_tables() {
         print!("{}", table.to_markdown());
@@ -677,11 +679,12 @@ pub fn experiments() -> Result<(), String> {
         }),
     ];
     for (name, matrix) in &configs {
-        let bw = |b: usize| {
-            let net = BusNetwork::new(16, 16, b, ConnectionScheme::Full).expect("valid");
-            memory_bandwidth(&net, matrix, 1.0).expect("valid")
+        let bw = |b: usize| -> Result<f64, String> {
+            let net =
+                BusNetwork::new(16, 16, b, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+            memory_bandwidth(&net, matrix, 1.0).map_err(|e| e.to_string())
         };
-        println!("| {name} | {:.3} | {:.3} |", bw(12), bw(16));
+        println!("| {name} | {:.3} | {:.3} |", bw(12)?, bw(16)?);
     }
     println!(
         "\nWith the favorite share fixed at 0.6 the depth effect is small: \
@@ -717,7 +720,7 @@ pub fn experiments() -> Result<(), String> {
             let mut sim = Simulator::build(&net, &matrix, 1.0).map_err(|e| e.to_string())?;
             let report = sim
                 .run(&SimConfig::new(200_000).with_warmup(5_000).with_seed(41))
-                .expect("empty fault schedule is valid");
+                .map_err(|e| e.to_string())?;
             let rates: Vec<String> = report
                 .processor_service_rates
                 .iter()
@@ -737,6 +740,52 @@ pub fn experiments() -> Result<(), String> {
     );
     print!("{}", degraded_section()?);
     Ok(())
+}
+
+/// `mbus lint`: run the workspace static-analysis pass (`mbus-lint`).
+///
+/// Prints every violation (`--json` for machine output) and fails with a
+/// non-zero exit status when the workspace is not clean.
+pub fn lint(args: &Args) -> Result<(), String> {
+    let root = match args.get("root") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => find_workspace_root()?,
+    };
+    let report = mbus_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    if report.files_scanned == 0 {
+        return Err(format!(
+            "no Rust sources found under {}; is --root pointing at the workspace?",
+            root.display()
+        ));
+    }
+    if args.flag("json") {
+        print!("{}", mbus_lint::render_json(&report));
+    } else {
+        print!("{}", mbus_lint::render_human(&report));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", report.violations.len()))
+    }
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// first directory holding both `Cargo.toml` and `crates/`).
+fn find_workspace_root() -> Result<std::path::PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "could not locate the workspace root (a directory with both \
+                 Cargo.toml and crates/); pass --root <path>"
+                    .to_owned(),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

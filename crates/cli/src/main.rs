@@ -42,6 +42,10 @@ COMMANDS:
                           [--seed s] [--workers w] [--q 0.05] [--json]
                           [--check] [--check-cycles 100000]
     validate              compare analysis vs exact vs simulation on a grid
+    lint                  run the workspace static-analysis pass (R1 panic
+                          paths, R2 lossy casts, R3 equation traceability,
+                          R4 invariant wiring); [--json] [--root path];
+                          non-zero exit on violations
     experiments           print the EXPERIMENTS.md report (paper vs computed)
     bench                 throughput harness: optimized vs reference engine
                           (cycles/sec) and serial vs parallel sweep
@@ -55,6 +59,7 @@ EXAMPLES:
     mbus analyze --scheme kclass --n 16 --b 8 --rate 0.5
     mbus simulate --scheme full --n 8 --b 4 --cycles 100000 --fail 2@50000
     mbus faults --scheme kclass --n 8 --b 4 --check
+    mbus lint --json
     mbus render --scheme kclass --n 3 --m 6 --b 4 --classes 3
 ";
 
@@ -71,6 +76,7 @@ fn main() -> ExitCode {
         "faults" => commands::faults(&args),
         "sweep" => commands::sweep(&args),
         "validate" => commands::validate(&args),
+        "lint" => commands::lint(&args),
         "experiments" => commands::experiments(),
         "bench" => bench::bench(&args),
         "help" | "" => {

@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn cost_markdown_contains_formulas() {
-        let md = cost_table_markdown(&tables::table1(8, 4, 2, 4));
+        let md = cost_table_markdown(&tables::table1(8, 4, 2, 4).unwrap());
         assert!(md.contains("B(N+M)"));
         assert!(md.contains("| full bus-memory connection |"));
     }

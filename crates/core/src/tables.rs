@@ -15,7 +15,7 @@ use crate::reference::{self, ReferenceBlock};
 use crate::report;
 use mbus_analysis::memory_bandwidth;
 use mbus_stats::parallel::{available_workers, parallel_map};
-use mbus_topology::{render, BusNetwork, ConnectionScheme, SchemeCostRow};
+use mbus_topology::{render, BusNetwork, ConnectionScheme, SchemeCostRow, TopologyError};
 use mbus_workload::{RequestModel, UniformModel};
 use serde::{Deserialize, Serialize};
 
@@ -193,30 +193,24 @@ fn build_table(
 /// Table I: cost and fault tolerance of every connection scheme,
 /// instantiated for a concrete `(n, b, g, k)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the parameters do not form valid networks (e.g. `g ∤ n`).
-pub fn table1(n: usize, b: usize, g: usize, k: usize) -> Vec<SchemeCostRow> {
+/// Returns the topology error when the parameters do not form valid
+/// networks (e.g. `g ∤ n`) — the parameters come straight from CLI flags.
+pub fn table1(
+    n: usize,
+    b: usize,
+    g: usize,
+    k: usize,
+) -> Result<Vec<SchemeCostRow>, TopologyError> {
     let nets = [
-        BusNetwork::new(n, n, b, ConnectionScheme::Full).expect("valid"),
-        BusNetwork::new(
-            n,
-            n,
-            b,
-            ConnectionScheme::balanced_single(n, b).expect("valid"),
-        )
-        .expect("valid"),
-        BusNetwork::new(n, n, b, ConnectionScheme::PartialGroups { groups: g }).expect("valid"),
-        BusNetwork::new(
-            n,
-            n,
-            b,
-            ConnectionScheme::uniform_classes(n, k).expect("valid"),
-        )
-        .expect("valid"),
-        BusNetwork::new(n, n, b, ConnectionScheme::Crossbar).expect("valid"),
+        BusNetwork::new(n, n, b, ConnectionScheme::Full)?,
+        BusNetwork::new(n, n, b, ConnectionScheme::balanced_single(n, b)?)?,
+        BusNetwork::new(n, n, b, ConnectionScheme::PartialGroups { groups: g })?,
+        BusNetwork::new(n, n, b, ConnectionScheme::uniform_classes(n, k)?)?,
+        BusNetwork::new(n, n, b, ConnectionScheme::Crossbar)?,
     ];
-    nets.iter().map(SchemeCostRow::for_network).collect()
+    Ok(nets.iter().map(SchemeCostRow::for_network).collect())
 }
 
 /// Table II: full bus–memory connection, r = 1.0.
@@ -406,7 +400,7 @@ mod tests {
 
     #[test]
     fn table1_rows_cover_all_schemes() {
-        let rows = table1(16, 8, 2, 8);
+        let rows = table1(16, 8, 2, 8).unwrap();
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].connections, 8 * 32); // full: B(N+M)
         assert_eq!(rows[1].connections, 8 * 16 + 16); // single: BN+M

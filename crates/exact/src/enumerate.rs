@@ -10,6 +10,7 @@
 //! the expectation of the service count at the end.
 
 use crate::ExactError;
+use mbus_stats::prob::check;
 use mbus_topology::{BusNetwork, ConnectionScheme, ServedTable};
 use mbus_workload::RequestMatrix;
 
@@ -67,6 +68,7 @@ pub fn served_given_requested(net: &BusNetwork, requested: &[bool]) -> usize {
             // R_j: requested modules per class (1-based j in the math).
             let counts: Vec<usize> = (0..k)
                 .map(|c| {
+                    // lint:allow(no_panic, class ranges exist for every class index; BusNetwork::new validated the K-class layout)
                     let range = net.memories_of_class(c).expect("validated K-class");
                     requested[range].iter().filter(|&&r| r).count()
                 })
@@ -83,6 +85,7 @@ pub fn served_given_requested(net: &BusNetwork, requested: &[bool]) -> usize {
                 })
                 .count()
         }
+        // lint:allow(no_panic, ConnectionScheme is non_exhaustive but BusNetwork::new rejects schemes outside the paper's five)
         other => unreachable!("unsupported scheme {:?}", other.kind()),
     }
 }
@@ -149,13 +152,20 @@ pub fn exact_bandwidth(
 
     // Fold the expectation through the tabulated served counts: one `u8`
     // load per mask instead of rebuilding a boolean vector and re-deriving
-    // the scheme outcome (`M ≤ MAX_MEMORIES` guarantees the table fits).
-    let table = ServedTable::build(net).expect("M <= MAX_MEMORIES fits the served table");
-    let expectation = dp
+    // the scheme outcome (`M ≤ MAX_MEMORIES` guarantees the table fits, so
+    // this map_err is unreachable in practice — but propagating keeps the
+    // path panic-free).
+    let table = ServedTable::build(net).map_err(|_| ExactError::TooLarge {
+        memories: m,
+        limit: MAX_MEMORIES,
+    })?;
+    check::assert_distribution_sums_to_one("requested-set mask distribution", &dp);
+    let expectation: f64 = dp
         .iter()
         .zip(table.as_slice())
         .map(|(&prob, &served)| prob * served as f64)
         .sum();
+    check::assert_bandwidth_bounds(expectation, net.capacity(), net.processors(), m);
     Ok(expectation)
 }
 
@@ -203,6 +213,7 @@ pub fn exact_distinct_pmf(matrix: &RequestMatrix, r: f64) -> Result<Vec<f64>, Ex
     for (mask, &prob) in dp.iter().enumerate() {
         pmf[(mask as u64).count_ones() as usize] += prob;
     }
+    check::assert_distribution_sums_to_one("distinct-request pmf", &pmf);
     Ok(pmf)
 }
 

@@ -19,7 +19,7 @@
 //!   [`mbus_sim`](https://docs.rs/mbus-sim)'s resubmission reports.
 
 use crate::ExactError;
-use mbus_stats::prob::choose;
+use mbus_stats::prob::{check, choose};
 use mbus_topology::{BusNetwork, SchemeKind, ServedTable};
 use mbus_workload::RequestMatrix;
 use serde::{Deserialize, Serialize};
@@ -205,11 +205,13 @@ pub fn resubmission_steady_state(
         }
     }
 
+    check::assert_distribution_sums_to_one("stationary distribution pi", &pi);
     let throughput: f64 = pi
         .iter()
         .zip(&served_expectation)
         .map(|(&p, &e)| p * e)
         .sum();
+    check::assert_bandwidth_bounds(throughput, capacity, n, m);
     let mean_pending: f64 = pi
         .iter()
         .enumerate()

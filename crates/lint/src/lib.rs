@@ -1,0 +1,49 @@
+//! `mbus-lint` — a dependency-free static-analysis pass over the
+//! workspace's own source.
+//!
+//! The workspace vendors no parser crates, so [`lexer`] implements a small
+//! hand-rolled Rust lexer (comments, strings, raw strings, char literals,
+//! `#[cfg(test)]`/`mod tests` region tracking) whose cleaned output feeds
+//! the rule engine in [`rules`]:
+//!
+//! - **R1 `no_panic`** — no `unwrap()` / `expect(` / `panic!` /
+//!   `unreachable!` / `todo!` in non-test code, locking in the workspace's
+//!   no-panic guarantee for user-reachable paths.
+//! - **R2 `lossy_cast`** — no narrowing or sign-changing `as` casts in the
+//!   numeric crates (`mbus-sim`, `mbus-core`, `mbus-stats`,
+//!   `mbus-topology`); use `try_from` or an annotated allow.
+//! - **R3 `eq_doc`** — paper-formula functions in `mbus-analysis` /
+//!   `mbus-exact` must cite their equation number (`eq (N)`) in docs.
+//! - **R4 `invariant_wiring`** — public bandwidth/probability functions in
+//!   the five formula modules must route results through
+//!   `mbus_stats::prob::check`.
+//!
+//! Violations are suppressed by per-line `// lint:allow(rule, reason)`
+//! pragmas or the checked-in `lint.allow` file; reason-less or stale allows
+//! are themselves violations (`allow_hygiene`). See [`engine`] for the
+//! resolution order and [`report`] for the human/JSON renderers used by
+//! `mbus lint`.
+//!
+//! # Examples
+//!
+//! ```
+//! let report = mbus_lint::lint_source(
+//!     "sim",
+//!     "crates/sim/src/demo.rs",
+//!     "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+//! );
+//! assert_eq!(report.violations.len(), 1);
+//! assert_eq!(report.violations[0].rule, mbus_lint::Rule::NoPanic);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, LintReport, ALLOWLIST_FILE};
+pub use report::{render_human, render_json};
+pub use rules::{Rule, Violation};

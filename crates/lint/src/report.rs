@@ -1,0 +1,109 @@
+//! Human-readable and JSON renderers for [`LintReport`].
+
+use crate::engine::LintReport;
+
+/// Renders the report the way compilers do: `path:line: rule: message`,
+/// followed by a one-line summary.
+pub fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("{}:{}: {}: {}\n", v.path, v.line, v.rule, v.message));
+    }
+    out.push_str(&format!(
+        "{} file(s) scanned, {} violation(s), {} suppressed by annotated allows\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed,
+    ));
+    out
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a JSON document (the workspace carries no JSON
+/// dependency, so this is hand-rolled like `mbus-campaign`'s renderer).
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"clean\": {},\n",
+        report.files_scanned,
+        report.suppressed,
+        report.is_clean(),
+    ));
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            v.rule,
+            json_escape(&v.path),
+            v.line,
+            json_escape(&v.message),
+            if i + 1 == report.violations.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    #[test]
+    fn human_rendering_lists_violations_and_summary() {
+        let report = lint_source(
+            "sim",
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let text = render_human(&report);
+        assert!(text.contains("crates/sim/src/x.rs:1: no_panic:"));
+        assert!(text.contains("1 file(s) scanned, 1 violation(s), 0 suppressed"));
+    }
+
+    #[test]
+    fn json_rendering_is_escaped_and_structured() {
+        let report = lint_source(
+            "sim",
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let json = render_json(&report);
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"rule\": \"no_panic\""));
+        assert!(json.contains("\"line\": 1"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn clean_report_renders_empty_array() {
+        let report = lint_source("sim", "crates/sim/src/x.rs", "fn f() {}\n");
+        assert!(render_json(&report).contains("\"clean\": true"));
+        assert!(render_human(&report).contains("0 violation(s)"));
+    }
+}

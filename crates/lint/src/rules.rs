@@ -1,0 +1,414 @@
+//! The four lint rules plus the allow-hygiene meta-rule.
+//!
+//! | id | name | scope |
+//! |----|------|-------|
+//! | R1 | `no_panic` | every workspace crate, non-test code |
+//! | R2 | `lossy_cast` | `mbus-sim`, `mbus-core`, `mbus-stats`, `mbus-topology` |
+//! | R3 | `eq_doc` | `mbus-analysis`, `mbus-exact` |
+//! | R4 | `invariant_wiring` | the five formula modules |
+//! | —  | `allow_hygiene` | pragmas and the `lint.allow` file themselves |
+
+use crate::lexer::{fn_items, idents, next_significant_char, CleanFile};
+use std::fmt;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: no `unwrap()`/`expect(`/`panic!`/`unreachable!`/`todo!` in
+    /// non-test code.
+    NoPanic,
+    /// R2: no narrowing / sign-changing `as` casts in the numeric crates.
+    LossyCast,
+    /// R3: paper-formula functions must cite their equation number.
+    EqDoc,
+    /// R4: bandwidth/probability functions must route results through the
+    /// `mbus_stats::prob::check` helpers (directly or by delegation).
+    InvariantWiring,
+    /// Meta-rule: malformed, reason-less, or stale allows.
+    AllowHygiene,
+}
+
+impl Rule {
+    /// The rule's canonical name, as used inside `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no_panic",
+            Rule::LossyCast => "lossy_cast",
+            Rule::EqDoc => "eq_doc",
+            Rule::InvariantWiring => "invariant_wiring",
+            Rule::AllowHygiene => "allow_hygiene",
+        }
+    }
+
+    /// Parses a rule name written in a pragma or allowlist entry.
+    pub fn parse(name: &str) -> Option<Rule> {
+        match name {
+            "no_panic" => Some(Rule::NoPanic),
+            "lossy_cast" => Some(Rule::LossyCast),
+            "eq_doc" => Some(Rule::EqDoc),
+            "invariant_wiring" => Some(Rule::InvariantWiring),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Runs every applicable rule over one cleaned file.
+///
+/// `crate_name` is the directory name under `crates/` (or `multibus` for the
+/// root package); `rel_path` is the workspace-relative path used in reports.
+pub fn check_file(crate_name: &str, rel_path: &str, file: &CleanFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if no_panic_applies(crate_name) {
+        no_panic(rel_path, file, &mut out);
+    }
+    if LOSSY_CAST_CRATES.contains(&crate_name) {
+        lossy_cast(rel_path, file, &mut out);
+    }
+    if EQ_DOC_CRATES.contains(&crate_name) {
+        eq_doc(rel_path, file, &mut out);
+    }
+    if FORMULA_MODULES.iter().any(|m| rel_path.ends_with(m)) {
+        invariant_wiring(rel_path, file, &mut out);
+    }
+    out
+}
+
+/// Crates R2 applies to (the numeric/hot-loop layers).
+pub const LOSSY_CAST_CRATES: [&str; 4] = ["sim", "core", "stats", "topology"];
+
+/// Crates R3 applies to.
+pub const EQ_DOC_CRATES: [&str; 2] = ["analysis", "exact"];
+
+/// The five formula modules R4 applies to.
+pub const FORMULA_MODULES: [&str; 5] = [
+    "crates/analysis/src/bandwidth.rs",
+    "crates/analysis/src/degraded.rs",
+    "crates/analysis/src/paper.rs",
+    "crates/exact/src/enumerate.rs",
+    "crates/exact/src/markov.rs",
+];
+
+/// R1 applies to every workspace crate (the CLI included — its command
+/// paths are exactly the user-reachable ones).
+fn no_panic_applies(_crate_name: &str) -> bool {
+    true
+}
+
+/// R1: flag panic-capable calls/macros in non-test code.
+fn no_panic(rel_path: &str, file: &CleanFile, out: &mut Vec<Violation>) {
+    for (line_no, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (col, tok) in idents(&line.code) {
+            let after = col + tok.chars().count();
+            let next = next_significant_char(&line.code, after);
+            let hit = match tok.as_str() {
+                "unwrap" | "expect" => next == Some('('),
+                "panic" | "unreachable" | "todo" | "unimplemented" => next == Some('!'),
+                _ => false,
+            };
+            if hit {
+                out.push(Violation {
+                    rule: Rule::NoPanic,
+                    path: rel_path.to_owned(),
+                    line: line_no + 1,
+                    message: format!(
+                        "`{tok}` can panic at runtime; return an error instead \
+                         (or justify with `// lint:allow(no_panic, reason)`)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Integer targets an `as` cast can truncate or sign-change into, given the
+/// workspace's prevailing `usize`/`u64` working types.
+const NARROWING_TARGETS: [&str; 8] = ["i8", "i16", "i32", "i64", "isize", "u8", "u16", "u32"];
+
+/// R2: flag `as` casts whose target can lose value range.
+fn lossy_cast(rel_path: &str, file: &CleanFile, out: &mut Vec<Violation>) {
+    for (line_no, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let toks = idents(&line.code);
+        for pair in toks.windows(2) {
+            let [(_, kw), (_, target)] = pair else {
+                continue;
+            };
+            if kw == "as" && NARROWING_TARGETS.contains(&target.as_str()) {
+                out.push(Violation {
+                    rule: Rule::LossyCast,
+                    path: rel_path.to_owned(),
+                    line: line_no + 1,
+                    message: format!(
+                        "`as {target}` can truncate or change sign; use `try_from` \
+                         (or justify with `// lint:allow(lossy_cast, reason)`)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Splits `eq4_full_bandwidth`-style names into their equation number.
+fn equation_number(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("eq")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let tail = &rest[digits.len()..];
+    if !(tail.is_empty() || tail.starts_with('_')) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Whether doc text cites any parenthesized equation number like `(4)`.
+fn cites_some_equation(doc: &str) -> bool {
+    let chars: Vec<char> = doc.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '(' {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && chars.get(j) == Some(&')') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// R3: equation-named public functions must cite their number; every public
+/// function in `paper.rs` must cite *some* equation.
+fn eq_doc(rel_path: &str, file: &CleanFile, out: &mut Vec<Violation>) {
+    let is_paper_module = rel_path.ends_with("analysis/src/paper.rs");
+    for item in fn_items(file) {
+        if !item.is_plain_pub || file.lines[item.line].in_test {
+            continue;
+        }
+        if let Some(n) = equation_number(&item.name) {
+            let needle = format!("({n})");
+            if !item.doc.contains(&needle) {
+                out.push(Violation {
+                    rule: Rule::EqDoc,
+                    path: rel_path.to_owned(),
+                    line: item.line + 1,
+                    message: format!(
+                        "`{}` implements a paper formula but its doc comment \
+                         does not cite `eq ({n})`",
+                        item.name
+                    ),
+                });
+            }
+        } else if is_paper_module && !cites_some_equation(&item.doc) {
+            out.push(Violation {
+                rule: Rule::EqDoc,
+                path: rel_path.to_owned(),
+                line: item.line + 1,
+                message: format!(
+                    "`{}` lives in the paper-formula module but its doc comment \
+                     cites no equation number like `eq (N)`",
+                    item.name
+                ),
+            });
+        }
+    }
+}
+
+/// The runtime checker entry points in `mbus_stats::prob::check`.
+const CHECKER_FNS: [&str; 5] = [
+    "assert_probability",
+    "assert_probabilities",
+    "assert_distribution_sums_to_one",
+    "assert_bandwidth_bounds",
+    "checked_probability",
+];
+
+/// Whether a function name marks a bandwidth/probability-producing formula.
+fn is_formula_name(name: &str) -> bool {
+    name.contains("bandwidth")
+        || name.contains("probability")
+        || name.contains("analyze")
+        || name.contains("pmf")
+        || name.contains("steady_state")
+}
+
+/// R4: formula functions must call a checker or delegate to another
+/// formula/checker function that does.
+fn invariant_wiring(rel_path: &str, file: &CleanFile, out: &mut Vec<Violation>) {
+    for item in fn_items(file) {
+        if !item.is_plain_pub || file.lines[item.line].in_test || !is_formula_name(&item.name) {
+            continue;
+        }
+        let mut wired = false;
+        for (col, tok) in idents(&item.body) {
+            let after = col + tok.chars().count();
+            if next_significant_char(&item.body, after) != Some('(') {
+                continue;
+            }
+            if CHECKER_FNS.contains(&tok.as_str())
+                || tok.starts_with("check")
+                || (is_formula_name(&tok) && tok != item.name)
+            {
+                wired = true;
+                break;
+            }
+        }
+        if !wired {
+            out.push(Violation {
+                rule: Rule::InvariantWiring,
+                path: rel_path.to_owned(),
+                line: item.line + 1,
+                message: format!(
+                    "`{}` returns a bandwidth/probability but never routes it \
+                     through `mbus_stats::prob::check` (directly or via a \
+                     delegate formula function)",
+                    item.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean;
+
+    fn run(crate_name: &str, rel_path: &str, src: &str) -> Vec<Violation> {
+        check_file(crate_name, rel_path, &clean(src))
+    }
+
+    #[test]
+    fn no_panic_flags_each_forbidden_form() {
+        let src = "\
+fn a(x: Option<u8>) -> u8 { x.unwrap() }
+fn b(x: Option<u8>) -> u8 { x.expect(\"msg\") }
+fn c() { panic!(\"boom\") }
+fn d() { unreachable!() }
+fn e() { todo!() }
+fn f() { unimplemented!() }
+";
+        let hits = run("sim", "crates/sim/src/x.rs", src);
+        assert_eq!(hits.len(), 6);
+        assert!(hits.iter().all(|v| v.rule == Rule::NoPanic));
+        let lines: Vec<usize> = hits.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn no_panic_ignores_test_code_and_lookalikes() {
+        let src = "\
+fn live() -> u8 { opts.unwrap_or(3) }
+fn wrapper() { let unwrap = 1; drop(unwrap); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+";
+        assert!(run("sim", "crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_scopes_to_numeric_crates() {
+        let src = "fn f(x: usize) -> u8 { x as u8 }\n";
+        let hits = run("stats", "crates/stats/src/x.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::LossyCast);
+        // Out-of-scope crate: silent.
+        assert!(run("analysis", "crates/analysis/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn widening_and_float_casts_pass() {
+        let src = "fn f(x: u8, y: usize) -> f64 { (x as usize + y) as f64 }\n";
+        assert!(run("stats", "crates/stats/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn eq_doc_requires_matching_citation() {
+        let good = "/// Implements eq (4) of the paper.\npub fn eq4_full(x: f64) -> f64 { x }\n";
+        assert!(run("analysis", "crates/analysis/src/other.rs", good).is_empty());
+        let wrong_number = "/// Implements eq (6).\npub fn eq4_full(x: f64) -> f64 { x }\n";
+        let hits = run("analysis", "crates/analysis/src/other.rs", wrong_number);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::EqDoc);
+        // Private and pub(crate) fns are exempt.
+        let private = "fn eq4_full(x: f64) -> f64 { x }\n";
+        assert!(run("analysis", "crates/analysis/src/other.rs", private).is_empty());
+    }
+
+    #[test]
+    fn eq_doc_requires_some_citation_in_paper_module() {
+        let src = "/// Helper with no equation.\npub fn helper(x: f64) -> f64 { x }\n";
+        let hits = run("analysis", "crates/analysis/src/paper.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::EqDoc);
+        // The same function outside paper.rs is fine.
+        assert!(run("analysis", "crates/analysis/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn invariant_wiring_accepts_checker_calls_and_delegation() {
+        let direct = "\
+pub fn memory_bandwidth(x: f64) -> f64 {
+    check::assert_bandwidth_bounds(x, 1, 1, 1);
+    x
+}
+";
+        assert!(run("analysis", "crates/analysis/src/bandwidth.rs", direct).is_empty());
+        let delegated = "\
+pub fn memory_bandwidth(x: f64) -> f64 { full_bandwidth(x) }
+";
+        assert!(run("analysis", "crates/analysis/src/bandwidth.rs", delegated).is_empty());
+    }
+
+    #[test]
+    fn invariant_wiring_flags_unchecked_formula_fns() {
+        let src = "pub fn memory_bandwidth(x: f64) -> f64 { x * 2.0 }\n";
+        let hits = run("analysis", "crates/analysis/src/bandwidth.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::InvariantWiring);
+        // Same file, non-formula name: exempt.
+        let other = "pub fn render(x: f64) -> f64 { x * 2.0 }\n";
+        assert!(run("analysis", "crates/analysis/src/bandwidth.rs", other).is_empty());
+        // Formula fn outside the five modules: exempt.
+        assert!(run("analysis", "crates/analysis/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn equation_number_parsing() {
+        assert_eq!(equation_number("eq4_full_bandwidth"), Some(4));
+        assert_eq!(equation_number("eq12_kclass"), Some(12));
+        assert_eq!(equation_number("eq9"), Some(9));
+        assert_eq!(equation_number("equation"), None);
+        assert_eq!(equation_number("eqx_thing"), None);
+        assert_eq!(equation_number("frequency"), None);
+    }
+}

@@ -94,6 +94,7 @@ impl Stage2State {
             ConnectionScheme::KClasses { class_sizes } if masks_fit => (0..class_sizes.len())
                 .map(|c| {
                     net.memories_of_class(c)
+                        // lint:allow(no_panic, class ranges exist for every class index; BusNetwork::new validated the K-class layout)
                         .expect("validated K-class")
                         .fold(0u64, |acc, j| acc | (1 << j))
                 })
@@ -199,6 +200,7 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
                     while bits != 0 && granted < limit {
                         let memory = bits.trailing_zeros() as usize;
                         bits &= bits - 1;
+                        // lint:allow(no_panic, the requested mask only has bits for memories that elected a winner)
                         let processor = winners[memory].expect("requested memory has a winner");
                         out.push(Grant {
                             processor,
@@ -310,6 +312,7 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
                 if masks_valid && state.class_masks[c] & requested_mask == 0 {
                     continue;
                 }
+                // lint:allow(no_panic, class ranges exist for every class index; BusNetwork::new validated the K-class layout)
                 let range = net.memories_of_class(c).expect("validated K-class");
                 state.requested.clear();
                 state
@@ -335,6 +338,7 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
                 }
                 for (slot, &memory) in state.requested[..cap].iter().enumerate() {
                     let bus = state.alive_desc[slot];
+                    // lint:allow(no_panic, state.requested only holds memories whose winner is Some)
                     let processor = winners[memory].expect("selected above");
                     state.contenders[bus].push((memory, processor));
                 }
@@ -352,6 +356,7 @@ pub(crate) fn grant_buses<R: Rng + ?Sized>(
                 });
             }
         }
+        // lint:allow(no_panic, ConnectionScheme is non_exhaustive but BusNetwork::new rejects schemes outside the paper's five)
         other => unreachable!("unsupported scheme {:?}", other.kind()),
     }
 }

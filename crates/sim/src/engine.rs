@@ -393,7 +393,10 @@ impl Simulator {
                 while retry != 0 {
                     let p = retry.trailing_zeros() as usize;
                     retry &= retry - 1;
-                    let memory = self.destinations[p].expect("bit set only for requesters");
+                    let Some(memory) = self.destinations[p] else {
+                        debug_assert!(false, "bit set only for requesters");
+                        continue;
+                    };
                     let age = self.pending[p].map_or(0, |pending| pending.age) + 1;
                     self.pending[p] = Some(Pending { memory, age });
                 }
@@ -475,10 +478,10 @@ impl Simulator {
                 let event = events[fault_cursor];
                 match event.kind {
                     crate::FaultEventKind::Fail => {
-                        self.mask.fail(event.bus).expect("validated above");
+                        self.mask.fail(event.bus).map_err(SimError::Topology)?;
                     }
                     crate::FaultEventKind::Repair => {
-                        self.mask.repair(event.bus).expect("validated above");
+                        self.mask.repair(event.bus).map_err(SimError::Topology)?;
                     }
                 }
                 fault_cursor += 1;

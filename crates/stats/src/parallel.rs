@@ -63,6 +63,7 @@ where
         for (in_chunk, out_chunk) in input.chunks_mut(chunk).zip(output.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (slot_in, slot_out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    // lint:allow(no_panic, each input slot is Some by construction and consumed exactly once)
                     let item = slot_in.take().expect("each input slot is consumed once");
                     *slot_out = Some(f(item));
                 }
@@ -71,6 +72,7 @@ where
     });
     output
         .into_iter()
+        // lint:allow(no_panic, every output slot is filled by the worker that owns its chunk)
         .map(|slot| slot.expect("each output slot is filled once"))
         .collect()
 }

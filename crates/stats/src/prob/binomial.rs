@@ -34,7 +34,12 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
     if p == 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
-    let direct = choose_f64(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+    // Exponents beyond i32 would wrap under `as`; force the log-space path
+    // instead (any such pmf value underflows to 0 there anyway).
+    let direct = match (i32::try_from(k), i32::try_from(n - k)) {
+        (Ok(ke), Ok(nke)) => choose_f64(n, k) * p.powi(ke) * (1.0 - p).powi(nke),
+        _ => f64::NAN,
+    };
     if direct > 0.0 && direct.is_finite() {
         return direct;
     }

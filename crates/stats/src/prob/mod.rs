@@ -5,9 +5,12 @@
 //! expectations ([`Binomial::expected_excess_over`], equations (4), (8), (9)).
 //! The workspace's *generalized* analysis replaces the homogeneous binomial
 //! with a [`PoissonBinomial`] when per-memory request probabilities differ
-//! (e.g. Das–Bhuyan favorite-memory traffic).
+//! (e.g. Das–Bhuyan favorite-memory traffic). The [`check`] submodule holds
+//! the debug-time probability-invariant assertions every formula layer
+//! routes its results through.
 
 mod binomial;
+pub mod check;
 mod comb;
 mod poisson_binomial;
 

@@ -198,6 +198,7 @@ impl BusNetwork {
                 memory / (self.m / g) == bus / (self.b / g)
             }
             ConnectionScheme::KClasses { .. } => {
+                // lint:allow(no_panic, every memory belongs to a class; BusNetwork::new validated the K-class layout)
                 let c = self.class_of_memory(memory).expect("validated k-class");
                 bus < self.kclass_bus_count(c)
             }
@@ -225,6 +226,7 @@ impl BusNetwork {
                 q * per..(q + 1) * per
             }
             ConnectionScheme::KClasses { .. } => {
+                // lint:allow(no_panic, every memory belongs to a class; BusNetwork::new validated the K-class layout)
                 let c = self.class_of_memory(memory).expect("validated k-class");
                 0..self.kclass_bus_count(c)
             }
@@ -285,6 +287,7 @@ impl BusNetwork {
     pub fn kclass_bus_count(&self, c: usize) -> usize {
         let k = self
             .class_count()
+            // lint:allow(no_panic, documented `# Panics` precondition of this internal arbiter helper)
             .expect("kclass_bus_count requires a K-class scheme");
         assert!(c < k, "class index {c} out of range ({k})");
         c + 1 + self.b - k

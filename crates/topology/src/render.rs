@@ -48,6 +48,7 @@ pub fn ascii_diagram(net: &BusNetwork) -> String {
     for p in 0..n {
         taps[p * CELL + CELL / 2] = b'|';
     }
+    // lint:allow(no_panic, the buffer is built from ASCII bytes only, so from_utf8 cannot fail)
     out.push_str(String::from_utf8(taps).expect("ascii").trim_end());
     out.push('\n');
 
@@ -63,6 +64,7 @@ pub fn ascii_diagram(net: &BusNetwork) -> String {
                 line[mem * CELL + CELL / 2] = b'*';
             }
         }
+        // lint:allow(no_panic, the buffer is built from ASCII bytes only, so from_utf8 cannot fail)
         let mut text = String::from_utf8(line).expect("ascii");
         text.push_str(&format!("  bus {}", bus + 1));
         out.push_str(&text);
@@ -74,6 +76,7 @@ pub fn ascii_diagram(net: &BusNetwork) -> String {
     for mem in 0..m {
         drops[mem * CELL + CELL / 2] = b'|';
     }
+    // lint:allow(no_panic, the buffer is built from ASCII bytes only, so from_utf8 cannot fail)
     out.push_str(String::from_utf8(drops).expect("ascii").trim_end());
     out.push('\n');
 

@@ -71,6 +71,7 @@ impl MaskPlan {
                     class_masks: (0..k)
                         .map(|c| {
                             net.memories_of_class(c)
+                                // lint:allow(no_panic, class ranges exist for every class index; validated by BusNetwork::new)
                                 .expect("validated K-class")
                                 .fold(0u64, |m, j| m | (1 << j))
                         })
@@ -170,6 +171,7 @@ impl ServedTable {
             });
         }
         let plan = MaskPlan::build(net);
+        // lint:allow(lossy_cast, served counts are bounded by M <= MAX_TABLE_MEMORIES = 20 < 256)
         let counts = (0..1u64 << m).map(|mask| plan.served(mask) as u8).collect();
         Ok(Self {
             memories: m,

@@ -166,6 +166,7 @@ impl Hierarchy {
 
     /// Processors per leaf subcluster (`kₙ`).
     pub fn processors_per_leaf(&self) -> usize {
+        // lint:allow(no_panic, Hierarchy constructors reject empty level lists)
         *self.ks.last().expect("validated non-empty")
     }
 

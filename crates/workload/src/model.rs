@@ -35,6 +35,7 @@ pub trait RequestModel {
         let rows = (0..self.processors())
             .map(|p| (0..self.memories()).map(|j| self.prob(p, j)).collect())
             .collect();
+        // lint:allow(no_panic, the RequestModel contract requires row-stochastic prob() rows; all workspace models validate at construction)
         RequestMatrix::from_rows(rows).expect("request models must produce row-stochastic matrices")
     }
 }

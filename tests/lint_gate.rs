@@ -1,0 +1,28 @@
+//! Workspace self-cleanliness gate: `cargo test` fails if `mbus lint`
+//! would — deleting a single allow pragma or reintroducing an `unwrap()`
+//! in a library crate breaks this test, not just the CI lint step.
+
+use mbus_lint::{lint_workspace, render_human};
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace sources must be readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walker lose the crates?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace must pass its own lint:\n{}",
+        render_human(&report)
+    );
+    // Every suppression in the tree is annotated; the count only moves when
+    // someone adds or removes an allow, which reviewers should see.
+    assert!(
+        report.suppressed > 0,
+        "expected at least one annotated allow in the workspace"
+    );
+}
