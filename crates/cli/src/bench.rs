@@ -1,6 +1,6 @@
 //! `mbus bench` — the workspace throughput harness.
 //!
-//! Two measurements, reported to stdout and written as JSON:
+//! Three measurements, reported to stdout and written as JSON:
 //!
 //! 1. **Engine throughput**: simulated cycles/sec of the optimized
 //!    [`Simulator`] against the frozen pre-optimization
@@ -11,7 +11,15 @@
 //!    end-to-end equivalence check.
 //! 2. **Sweep throughput**: analytical sweep points/sec of
 //!    [`bus_sweep_with_workers`] serial (1 worker) vs parallel (all cores)
-//!    on a 64-point full-connection sweep at N = 64.
+//!    on a 64-point full-connection sweep at N = 64. On a single-core
+//!    machine the parallel run would just repeat the serial measurement, so
+//!    it is skipped and no speedup is reported.
+//! 3. **Exact engines** (`--exact` runs only this section): the
+//!    subset-transform requested-set pmf against the retained
+//!    per-processor DP on a 256×16 hierarchical workload (identical
+//!    results, `O(G·2^M + 2^M·M)` vs `O(N·2^M·M)` work), and the lumped
+//!    Markov chain solving a 16×8×4 resubmission model the unlumped chain
+//!    rejects as too large.
 //!
 //! Timings take the best of `--reps` repetitions, with the two sides of each
 //! comparison interleaved rep by rep so background load on a shared machine
@@ -19,6 +27,7 @@
 
 use crate::args::Args;
 use mbus_core::analysis::sweep::bus_sweep_with_workers;
+use mbus_core::exact;
 use mbus_core::prelude::*;
 use mbus_core::sim::reference::ReferenceSimulator;
 use mbus_core::stats::parallel::available_workers;
@@ -38,6 +47,17 @@ fn best_seconds_interleaved<A: FnMut(), B: FnMut()>(reps: usize, mut a: A, mut b
         best_b = best_b.min(start.elapsed().as_secs_f64());
     }
     (best_a, best_b)
+}
+
+/// Best-of-`reps` wall time of a single measurement.
+fn best_seconds<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 struct EngineResult {
@@ -96,12 +116,18 @@ fn engine_benchmark(
 
 struct SweepResult {
     points: usize,
+    /// Worker threads detected via `std::thread::available_parallelism`
+    /// (reported even when the parallel measurement is skipped).
     workers: usize,
     serial_pps: f64,
-    parallel_pps: f64,
+    /// `None` on a single-core machine: a "parallel" run with one worker
+    /// is the serial run again, and its ≈1.0x "speedup" is pure noise, so
+    /// the measurement is skipped rather than reported.
+    parallel_pps: Option<f64>,
 }
 
-/// Times a full-connection analytical bus sweep serially and in parallel.
+/// Times a full-connection analytical bus sweep serially and — when more
+/// than one worker is available — in parallel.
 fn sweep_benchmark(n: usize, reps: usize) -> Result<SweepResult, String> {
     let matrix = paper_params::hierarchical(n)
         .map_err(|e| e.to_string())?
@@ -112,6 +138,20 @@ fn sweep_benchmark(n: usize, reps: usize) -> Result<SweepResult, String> {
 
     let serial = bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, 1)
         .map_err(|e| e.to_string())?;
+
+    if workers <= 1 {
+        let serial_secs = best_seconds(reps, || {
+            // lint:allow(no_panic, the same sweep succeeded above; timing closures must stay Result-free)
+            bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, 1).unwrap();
+        });
+        return Ok(SweepResult {
+            points: bus_counts.len(),
+            workers,
+            serial_pps: bus_counts.len() as f64 / serial_secs,
+            parallel_pps: None,
+        });
+    }
+
     let parallel = bus_sweep_with_workers(n, n, &bus_counts, &factory, &matrix, 1.0, workers)
         .map_err(|e| e.to_string())?;
     if serial != parallel {
@@ -133,43 +173,173 @@ fn sweep_benchmark(n: usize, reps: usize) -> Result<SweepResult, String> {
         points: bus_counts.len(),
         workers,
         serial_pps: bus_counts.len() as f64 / serial_secs,
-        parallel_pps: bus_counts.len() as f64 / parallel_secs,
+        parallel_pps: Some(bus_counts.len() as f64 / parallel_secs),
     })
 }
 
-/// Hand-rolled JSON for the benchmark report (the workspace carries no JSON
-/// dependency); every value is a number or bool, so no escaping is needed.
-fn render_json(
+struct ExactResult {
     n: usize,
+    m: usize,
     b: usize,
-    cycles: u64,
-    seed: u64,
-    engine: &EngineResult,
-    sweep_n: usize,
-    sweep: &SweepResult,
-) -> String {
+    groups: usize,
+    dp_seconds: f64,
+    transform_seconds: f64,
+    lumped_n: usize,
+    lumped_m: usize,
+    lumped_b: usize,
+    lumped_states: usize,
+    lumped_throughput: f64,
+    lumped_seconds: f64,
+    unlumped_rejected: bool,
+}
+
+impl ExactResult {
+    fn speedup(&self) -> f64 {
+        self.dp_seconds / self.transform_seconds
+    }
+}
+
+/// Times the subset-transform enumeration against the retained DP, and the
+/// lumped Markov chain on a size the unlumped chain rejects.
+fn exact_benchmark(reps: usize) -> Result<ExactResult, String> {
+    // Transform vs DP: 256 processors over 16 memories, hierarchical
+    // workload with 16 clusters of 16 (G = 16 distinct rows), full
+    // connection with 8 buses.
+    let (n, m, b) = (256usize, 16usize, 8usize);
+    let hierarchy = Hierarchy::shared(&[16, 16], 1).map_err(|e| e.to_string())?;
+    let model = HierarchicalModel::with_aggregate_shares(hierarchy, &[0.6, 0.4])
+        .map_err(|e| e.to_string())?;
+    let matrix = model.matrix();
+    let groups = matrix.groups().len();
+    let net = BusNetwork::new(n, m, b, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+
+    // Both engines must agree exactly before their speeds are compared.
+    let dp_bw = exact::enumerate::exact_bandwidth_dp(&net, &matrix, 1.0).map_err(|e| e.to_string())?;
+    let tf_bw = exact::transform::transform_bandwidth(&net, &matrix, 1.0).map_err(|e| e.to_string())?;
+    if (dp_bw - tf_bw).abs() > 1e-9 {
+        return Err(format!(
+            "transform ({tf_bw}) and DP ({dp_bw}) engines diverged — benchmark void"
+        ));
+    }
+
+    // Time the pmf construction (the entire asymptotic difference); the
+    // transform side calls the uncached entry point so the cross-sweep
+    // cache cannot flatter the measurement.
+    let (dp_seconds, transform_seconds) = best_seconds_interleaved(
+        reps,
+        || {
+            // lint:allow(no_panic, the same computation succeeded in the divergence check above; timing closures must stay Result-free)
+            exact::enumerate::requested_set_pmf_dp(&matrix, 1.0).expect("checked above");
+        },
+        || {
+            // lint:allow(no_panic, the same computation succeeded in the divergence check above; timing closures must stay Result-free)
+            exact::transform::requested_set_pmf(&matrix, 1.0).expect("checked above");
+        },
+    );
+
+    // Lumped Markov chain: a 16×8×4 uniform resubmission model. The
+    // unlumped chain needs (M+1)^N states and must reject it; the lumped
+    // chain solves it from occupancy counts.
+    let (ln, lm, lb) = (16usize, 8usize, 4usize);
+    let lu_net = BusNetwork::new(ln, lm, lb, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+    let lu_matrix = UniformModel::new(ln, lm).map_err(|e| e.to_string())?.matrix();
+    let unlumped_rejected = matches!(
+        exact::markov::resubmission_steady_state(&lu_net, &lu_matrix, 1.0),
+        Err(exact::ExactError::TooLarge { .. })
+    );
+    let steady =
+        exact::lumped::lumped_steady_state(&lu_net, &lu_matrix, 1.0).map_err(|e| e.to_string())?;
+    let lumped_seconds = best_seconds(reps, || {
+        // lint:allow(no_panic, the same chain solved successfully above; timing closures must stay Result-free)
+        exact::lumped::lumped_steady_state(&lu_net, &lu_matrix, 1.0).expect("solved above");
+    });
+
+    Ok(ExactResult {
+        n,
+        m,
+        b,
+        groups,
+        dp_seconds,
+        transform_seconds,
+        lumped_n: ln,
+        lumped_m: lm,
+        lumped_b: lb,
+        lumped_states: steady.states,
+        lumped_throughput: steady.throughput,
+        lumped_seconds,
+        unlumped_rejected,
+    })
+}
+
+/// The `"engine"` JSON section.
+fn engine_json(n: usize, b: usize, cycles: u64, seed: u64, engine: &EngineResult) -> String {
     format!(
-        "{{\n  \"engine\": {{\n    \"n\": {n},\n    \"m\": {n},\n    \"b\": {b},\n    \
+        "  \"engine\": {{\n    \"n\": {n},\n    \"m\": {n},\n    \"b\": {b},\n    \
          \"scheme\": \"full\",\n    \"workload\": \"hierarchical\",\n    \"rate\": 1.0,\n    \
          \"resubmission\": true,\n    \"cycles\": {cycles},\n    \"seed\": {seed},\n    \
          \"total_cycles_per_run\": {total},\n    \
          \"optimized_cycles_per_sec\": {ocps:.1},\n    \
          \"reference_cycles_per_sec\": {rcps:.1},\n    \
-         \"speedup\": {espeed:.3}\n  }},\n  \"sweep\": {{\n    \
-         \"n\": {sweep_n},\n    \"points\": {points},\n    \"workers\": {workers},\n    \
-         \"serial_points_per_sec\": {spps:.2},\n    \
-         \"parallel_points_per_sec\": {ppps:.2},\n    \
-         \"speedup\": {sspeed:.3}\n  }}\n}}\n",
+         \"speedup\": {espeed:.3}\n  }}",
         total = engine.total_cycles,
         ocps = engine.optimized_cps,
         rcps = engine.reference_cps,
         espeed = engine.optimized_cps / engine.reference_cps,
+    )
+}
+
+/// The `"sweep"` JSON section. With one worker the parallel measurement is
+/// skipped, so neither `parallel_points_per_sec` nor `speedup` is emitted.
+fn sweep_json(sweep_n: usize, sweep: &SweepResult) -> String {
+    let parallel = match sweep.parallel_pps {
+        Some(ppps) => format!(
+            ",\n    \"parallel_points_per_sec\": {ppps:.2},\n    \
+             \"speedup\": {sspeed:.3}",
+            sspeed = ppps / sweep.serial_pps,
+        ),
+        None => String::new(),
+    };
+    format!(
+        "  \"sweep\": {{\n    \"n\": {sweep_n},\n    \"points\": {points},\n    \
+         \"workers\": {workers},\n    \
+         \"serial_points_per_sec\": {spps:.2}{parallel}\n  }}",
         points = sweep.points,
         workers = sweep.workers,
         spps = sweep.serial_pps,
-        ppps = sweep.parallel_pps,
-        sspeed = sweep.parallel_pps / sweep.serial_pps,
     )
+}
+
+/// The `"exact"` JSON section.
+fn exact_json(exact: &ExactResult) -> String {
+    format!(
+        "  \"exact\": {{\n    \"transform\": {{\n      \"n\": {n},\n      \"m\": {m},\n      \
+         \"b\": {b},\n      \"workload\": \"hierarchical\",\n      \"groups\": {groups},\n      \
+         \"rate\": 1.0,\n      \"dp_seconds\": {dps:.6},\n      \
+         \"transform_seconds\": {tfs:.6},\n      \"speedup\": {speedup:.1}\n    }},\n    \
+         \"lumped\": {{\n      \"n\": {ln},\n      \"m\": {lm},\n      \"b\": {lb},\n      \
+         \"workload\": \"uniform\",\n      \"rate\": 1.0,\n      \"states\": {states},\n      \
+         \"throughput\": {tp:.6},\n      \"seconds\": {ls:.6},\n      \
+         \"unlumped_rejected\": {rejected}\n    }}\n  }}",
+        n = exact.n,
+        m = exact.m,
+        b = exact.b,
+        groups = exact.groups,
+        dps = exact.dp_seconds,
+        tfs = exact.transform_seconds,
+        speedup = exact.speedup(),
+        ln = exact.lumped_n,
+        lm = exact.lumped_m,
+        lb = exact.lumped_b,
+        states = exact.lumped_states,
+        tp = exact.lumped_throughput,
+        ls = exact.lumped_seconds,
+        rejected = exact.unlumped_rejected,
+    )
+}
+
+/// Joins the present sections into the top-level JSON object.
+fn render_json(sections: &[String]) -> String {
+    format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
 
 /// `mbus bench`.
@@ -181,27 +351,57 @@ pub fn bench(args: &Args) -> Result<(), String> {
     let reps = args.get_or("reps", 5usize)?;
     let sweep_n = args.get_or("sweep-n", 64usize)?;
     let out = args.get_or("out", "BENCH_sim.json".to_owned())?;
+    let exact_only = args.flag("exact");
 
-    println!("engine: {n}x{n}x{b} full, hierarchical, r = 1.0, resubmission, {cycles} cycles");
-    let engine = engine_benchmark(n, b, cycles, seed, reps)?;
+    let mut sections = Vec::new();
+
+    if !exact_only {
+        println!("engine: {n}x{n}x{b} full, hierarchical, r = 1.0, resubmission, {cycles} cycles");
+        let engine = engine_benchmark(n, b, cycles, seed, reps)?;
+        println!(
+            "  optimized: {:>12.0} cycles/sec\n  reference: {:>12.0} cycles/sec\n  speedup:   {:>12.2}x",
+            engine.optimized_cps,
+            engine.reference_cps,
+            engine.optimized_cps / engine.reference_cps
+        );
+        sections.push(engine_json(n, b, cycles, seed, &engine));
+
+        println!(
+            "\nsweep: {sweep_n} full-connection points at N = {sweep_n}, hierarchical, r = 1.0"
+        );
+        let sweep = sweep_benchmark(sweep_n, reps)?;
+        match sweep.parallel_pps {
+            Some(ppps) => println!(
+                "  serial:    {:>12.1} points/sec\n  parallel:  {:>12.1} points/sec ({} workers)\n  speedup:   {:>12.2}x",
+                sweep.serial_pps,
+                ppps,
+                sweep.workers,
+                ppps / sweep.serial_pps
+            ),
+            None => println!(
+                "  serial:    {:>12.1} points/sec\n  parallel:  skipped (1 worker detected)",
+                sweep.serial_pps
+            ),
+        }
+        sections.push(sweep_json(sweep_n, &sweep));
+    }
+
+    println!("\nexact: transform vs DP on 256x16 hierarchical; lumped Markov on 16x8x4 uniform");
+    let exact = exact_benchmark(reps)?;
     println!(
-        "  optimized: {:>12.0} cycles/sec\n  reference: {:>12.0} cycles/sec\n  speedup:   {:>12.2}x",
-        engine.optimized_cps,
-        engine.reference_cps,
-        engine.optimized_cps / engine.reference_cps
+        "  dp:        {:>12.4} sec/pmf\n  transform: {:>12.4} sec/pmf ({} groups)\n  speedup:   {:>12.1}x",
+        exact.dp_seconds,
+        exact.transform_seconds,
+        exact.groups,
+        exact.speedup()
     );
-
-    println!("\nsweep: {sweep_n} full-connection points at N = {sweep_n}, hierarchical, r = 1.0");
-    let sweep = sweep_benchmark(sweep_n, reps)?;
     println!(
-        "  serial:    {:>12.1} points/sec\n  parallel:  {:>12.1} points/sec ({} workers)\n  speedup:   {:>12.2}x",
-        sweep.serial_pps,
-        sweep.parallel_pps,
-        sweep.workers,
-        sweep.parallel_pps / sweep.serial_pps
+        "  lumped:    {:>12} states, throughput {:.4}, {:.4} sec (unlumped rejected: {})",
+        exact.lumped_states, exact.lumped_throughput, exact.lumped_seconds, exact.unlumped_rejected
     );
+    sections.push(exact_json(&exact));
 
-    let json = render_json(n, b, cycles, seed, &engine, sweep_n, &sweep);
+    let json = render_json(&sections);
     std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("\nwrote {out}");
     Ok(())
@@ -226,7 +426,14 @@ mod tests {
         let result = sweep_benchmark(8, 1).unwrap();
         assert_eq!(result.points, 8);
         assert!(result.serial_pps > 0.0);
-        assert!(result.parallel_pps > 0.0);
+        // On multi-core CI the parallel leg runs; on a single core it is
+        // skipped but the detected worker count is still reported.
+        assert!(result.workers >= 1);
+        if result.workers > 1 {
+            assert!(result.parallel_pps.is_some());
+        } else {
+            assert!(result.parallel_pps.is_none());
+        }
     }
 
     #[test]
@@ -240,13 +447,73 @@ mod tests {
             points: 64,
             workers: 8,
             serial_pps: 10.0,
-            parallel_pps: 40.0,
+            parallel_pps: Some(40.0),
         };
-        let json = render_json(32, 8, 200_000, 42, &engine, 64, &sweep);
+        let json = render_json(&[
+            engine_json(32, 8, 200_000, 42, &engine),
+            sweep_json(64, &sweep),
+        ]);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"speedup\": 2.000"));
         assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.contains("\"optimized_cycles_per_sec\": 2000000.0"));
+    }
+
+    #[test]
+    fn single_worker_sweep_json_omits_speedup() {
+        let sweep = SweepResult {
+            points: 64,
+            workers: 1,
+            serial_pps: 10.0,
+            parallel_pps: None,
+        };
+        let json = render_json(&[sweep_json(64, &sweep)]);
+        assert!(json.contains("\"workers\": 1"), "detected value reported");
+        assert!(!json.contains("speedup"), "no misleading 1.00x speedup");
+        assert!(!json.contains("parallel_points_per_sec"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn exact_json_has_both_subsections() {
+        let exact = ExactResult {
+            n: 256,
+            m: 16,
+            b: 8,
+            groups: 16,
+            dp_seconds: 0.8,
+            transform_seconds: 0.02,
+            lumped_n: 16,
+            lumped_m: 8,
+            lumped_b: 4,
+            lumped_states: 481,
+            lumped_throughput: 3.9963,
+            lumped_seconds: 0.01,
+            unlumped_rejected: true,
+        };
+        let json = render_json(&[exact_json(&exact)]);
+        assert!(json.contains("\"speedup\": 40.0"));
+        assert!(json.contains("\"unlumped_rejected\": true"));
+        assert!(json.contains("\"states\": 481"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn exact_benchmark_measures_a_real_separation() {
+        // One rep keeps this test cheap; the structural claims (agreement
+        // gate passed, unlumped rejection observed, transform faster) are
+        // what matter, not the exact ratio.
+        let result = exact_benchmark(1).unwrap();
+        assert_eq!(result.groups, 16);
+        assert!(result.unlumped_rejected, "old engine must reject 16x8");
+        assert!(result.lumped_states > 0);
+        assert!(result.lumped_throughput > 3.9 && result.lumped_throughput <= 4.0 + 1e-9);
+        assert!(
+            result.speedup() > 1.0,
+            "transform slower than DP: {:.3}s vs {:.3}s",
+            result.transform_seconds,
+            result.dp_seconds
+        );
     }
 }

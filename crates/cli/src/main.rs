@@ -48,10 +48,13 @@ COMMANDS:
                           non-zero exit on violations
     experiments           print the EXPERIMENTS.md report (paper vs computed)
     bench                 throughput harness: optimized vs reference engine
-                          (cycles/sec) and serial vs parallel sweep
-                          (points/sec); writes BENCH_sim.json
+                          (cycles/sec), serial vs parallel sweep
+                          (points/sec; skipped on one core), and the exact
+                          engines (subset transform vs DP, lumped Markov);
+                          writes BENCH_sim.json
                           [--n 32] [--b 8] [--cycles 200000] [--seed 42]
                           [--reps 5] [--sweep-n 64] [--out BENCH_sim.json]
+                          [--exact  run only the exact-engine section]
     help                  show this message
 
 EXAMPLES:

@@ -4,14 +4,21 @@
 //! memories receives at least one request*: the per-memory arbiters collapse
 //! duplicate requests (stage 1), and every scheme's stage-2 service count is
 //! a deterministic function of the requested set
-//! ([`served_given_requested`]). The dynamic program below therefore walks
-//! processors one at a time, maintaining the probability of every reachable
+//! ([`served_given_requested`]). The dynamic program below walks processors
+//! one at a time, maintaining the probability of every reachable
 //! requested-set bitmask — `O(N · 2^M · M)` time, `O(2^M)` space — and takes
 //! the expectation of the service count at the end.
+//!
+//! Since the subset-transform engine landed ([`crate::transform`],
+//! `O(G · 2^M + 2^M · M)` for `G` distinct workload rows), the public
+//! entry points [`exact_bandwidth`] and [`exact_distinct_pmf`] delegate to
+//! it; the DP survives as [`requested_set_pmf_dp`] / [`exact_bandwidth_dp`]
+//! — an independent derivation the differential tests (and `mbus bench
+//! --exact`) compare against.
 
-use crate::ExactError;
+use crate::{memo, transform, ExactError};
 use mbus_stats::prob::check;
-use mbus_topology::{BusNetwork, ConnectionScheme, ServedTable};
+use mbus_topology::{BusNetwork, ConnectionScheme};
 use mbus_workload::RequestMatrix;
 
 /// Maximum number of memories supported by the bitmask enumeration
@@ -90,8 +97,13 @@ pub fn served_given_requested(net: &BusNetwork, requested: &[bool]) -> usize {
     }
 }
 
-/// Exact effective memory bandwidth of `net` under `matrix` at rate `r`,
-/// by exhaustive enumeration.
+/// Exact effective memory bandwidth of `net` under `matrix` at rate `r`.
+///
+/// Delegates to the subset-transform engine
+/// ([`transform::transform_bandwidth`]), which computes the same
+/// expectation in `O(G · 2^M + 2^M · M)` instead of the DP's
+/// `O(N · 2^M · M)`; the retained DP ([`exact_bandwidth_dp`]) is the
+/// differential reference.
 ///
 /// # Errors
 ///
@@ -103,21 +115,25 @@ pub fn exact_bandwidth(
     matrix: &RequestMatrix,
     r: f64,
 ) -> Result<f64, ExactError> {
-    let m = net.memories();
+    transform::transform_bandwidth(net, matrix, r)
+}
+
+/// Exact pmf over requested-set bitmasks (length `2^M`) by the retained
+/// per-processor dynamic program — `O(N · 2^M · M)`. Kept as the
+/// independent reference implementation the transform engine is
+/// differential-tested against; new callers should prefer
+/// [`transform::requested_set_pmf`].
+///
+/// # Errors
+///
+/// Same guards as [`exact_bandwidth`] (size and rate).
+pub fn requested_set_pmf_dp(matrix: &RequestMatrix, r: f64) -> Result<Vec<f64>, ExactError> {
+    let m = matrix.memories();
     if m > MAX_MEMORIES {
         return Err(ExactError::TooLarge {
             memories: m,
             limit: MAX_MEMORIES,
         });
-    }
-    if net.processors() != matrix.processors() || m != matrix.memories() {
-        return Err(ExactError::Analysis(
-            mbus_analysis::AnalysisError::DimensionMismatch {
-                what: "memories",
-                network: m,
-                workload: matrix.memories(),
-            },
-        ));
     }
     if !r.is_finite() || !(0.0..=1.0).contains(&r) {
         return Err(ExactError::Analysis(
@@ -129,7 +145,7 @@ pub fn exact_bandwidth(
     let mut dp = vec![0.0f64; 1 << m];
     dp[0] = 1.0;
     let mut next = vec![0.0f64; 1 << m];
-    for p in 0..net.processors() {
+    for p in 0..matrix.processors() {
         next.iter_mut().for_each(|v| *v = 0.0);
         let row = matrix.row(p);
         for (mask, &prob) in dp.iter().enumerate() {
@@ -149,17 +165,43 @@ pub fn exact_bandwidth(
         }
         std::mem::swap(&mut dp, &mut next);
     }
+    check::assert_distribution_sums_to_one("requested-set mask distribution", &dp);
+    Ok(dp)
+}
+
+/// [`exact_bandwidth`] computed by the retained DP enumerator instead of
+/// the subset transform — the slow independent reference used by the
+/// differential tests and the `mbus bench --exact` comparison.
+///
+/// # Errors
+///
+/// Same contract as [`exact_bandwidth`].
+pub fn exact_bandwidth_dp(
+    net: &BusNetwork,
+    matrix: &RequestMatrix,
+    r: f64,
+) -> Result<f64, ExactError> {
+    let m = net.memories();
+    if net.processors() != matrix.processors() || m != matrix.memories() {
+        return Err(ExactError::Analysis(
+            mbus_analysis::AnalysisError::DimensionMismatch {
+                what: "memories",
+                network: m,
+                workload: matrix.memories(),
+            },
+        ));
+    }
+    let dp = requested_set_pmf_dp(matrix, r)?;
 
     // Fold the expectation through the tabulated served counts: one `u8`
     // load per mask instead of rebuilding a boolean vector and re-deriving
     // the scheme outcome (`M ≤ MAX_MEMORIES` guarantees the table fits, so
     // this map_err is unreachable in practice — but propagating keeps the
     // path panic-free).
-    let table = ServedTable::build(net).map_err(|_| ExactError::TooLarge {
+    let table = memo::served_table(net).map_err(|_| ExactError::TooLarge {
         memories: m,
         limit: MAX_MEMORIES,
     })?;
-    check::assert_distribution_sums_to_one("requested-set mask distribution", &dp);
     let expectation: f64 = dp
         .iter()
         .zip(table.as_slice())
@@ -170,51 +212,14 @@ pub fn exact_bandwidth(
 }
 
 /// Exact probability-mass function of the number of *distinct requested
-/// memories* per cycle, by the same enumeration (length `M + 1`).
+/// memories* per cycle (length `M + 1`). Delegates to the subset-transform
+/// engine ([`transform::transform_distinct_pmf`]).
 ///
 /// # Errors
 ///
 /// Same as [`exact_bandwidth`].
 pub fn exact_distinct_pmf(matrix: &RequestMatrix, r: f64) -> Result<Vec<f64>, ExactError> {
-    let m = matrix.memories();
-    if m > MAX_MEMORIES {
-        return Err(ExactError::TooLarge {
-            memories: m,
-            limit: MAX_MEMORIES,
-        });
-    }
-    if !r.is_finite() || !(0.0..=1.0).contains(&r) {
-        return Err(ExactError::Analysis(
-            mbus_analysis::AnalysisError::InvalidRate { value: r },
-        ));
-    }
-    let mut dp = vec![0.0f64; 1 << m];
-    dp[0] = 1.0;
-    let mut next = vec![0.0f64; 1 << m];
-    for p in 0..matrix.processors() {
-        next.iter_mut().for_each(|v| *v = 0.0);
-        let row = matrix.row(p);
-        for (mask, &prob) in dp.iter().enumerate() {
-            if prob == 0.0 {
-                continue;
-            }
-            next[mask] += prob * (1.0 - r);
-            if r > 0.0 {
-                for (j, &pj) in row.iter().enumerate() {
-                    if pj > 0.0 {
-                        next[mask | (1 << j)] += prob * r * pj;
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut dp, &mut next);
-    }
-    let mut pmf = vec![0.0; m + 1];
-    for (mask, &prob) in dp.iter().enumerate() {
-        pmf[(mask as u64).count_ones() as usize] += prob;
-    }
-    check::assert_distribution_sums_to_one("distinct-request pmf", &pmf);
-    Ok(pmf)
+    transform::transform_distinct_pmf(matrix, r)
 }
 
 #[cfg(test)]

@@ -9,9 +9,15 @@
 //! misstates the tail. This crate computes the *true* expectations, three
 //! ways:
 //!
+//! * [`transform`] — the symmetry-exploiting fast path: closed-form
+//!   containment products per *group* of identical workload rows plus one
+//!   Möbius (subset) transform recover the exact requested-set pmf in
+//!   `O(G · 2^M + 2^M · M)` — essentially free in `N`. The public
+//!   enumeration entry points delegate here.
 //! * [`enumerate`] — exhaustive enumeration over all request outcomes via a
-//!   bitmask dynamic program, exact for any scheme and any workload matrix,
-//!   feasible up to ~20 memories. Also exposes the deterministic
+//!   bitmask dynamic program (`O(N · 2^M · M)`), exact for any scheme and
+//!   any workload matrix, feasible up to ~20 memories; retained as the
+//!   independent differential reference. Also exposes the deterministic
 //!   stage-2 service count [`enumerate::served_given_requested`], used as an
 //!   oracle by the simulator's tests.
 //! * [`distinct`] — closed-form inclusion–exclusion for the distribution of
@@ -21,6 +27,13 @@
 //! * [`markov`] — an exact Markov-chain steady state for *resubmission*
 //!   semantics (the Marsan/Mudge regime the paper cites as \[11\], \[12\]),
 //!   validating the simulator's queueing behaviour on small systems.
+//! * [`lumped`] — the same chain lumped over processor (and, for uniform
+//!   workloads, memory) permutation symmetry: occupancy-count states reach
+//!   systems like `N = 16, M = 8` that the unlumped `(M+1)^N` chain
+//!   rejects as too large.
+//! * [`memo`] — process-wide memoization of served-set tables (and, via
+//!   [`transform`], requested-set pmfs) so sweeps and fault campaigns stop
+//!   recomputing identical subproblems.
 //! * [`compare`] — reports quantifying the paper's independence
 //!   approximation error against these exact references (an ablation bench
 //!   regenerates the sweep).
@@ -50,6 +63,9 @@ pub mod compare;
 pub mod distinct;
 pub mod enumerate;
 mod error;
+pub mod lumped;
 pub mod markov;
+pub mod memo;
+pub mod transform;
 
 pub use error::ExactError;

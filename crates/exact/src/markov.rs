@@ -18,14 +18,15 @@
 //!   age via Little's law, directly comparable to
 //!   [`mbus_sim`](https://docs.rs/mbus-sim)'s resubmission reports.
 
-use crate::ExactError;
+use crate::{memo, ExactError};
 use mbus_stats::prob::{check, choose};
-use mbus_topology::{BusNetwork, SchemeKind, ServedTable};
+use mbus_topology::{BusNetwork, SchemeKind};
 use mbus_workload::RequestMatrix;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Upper bound on `(M+1)^N` for the chain to be built.
+/// Upper bound on `(M+1)^N` for the chain to be built — also the reachable
+/// state budget of the symmetry-lumped chain in [`crate::lumped`].
 pub const MAX_STATES: usize = 20_000;
 
 /// Steady-state quantities of the resubmission chain.
@@ -89,11 +90,11 @@ pub fn resubmission_steady_state(
             limit: MAX_STATES,
         })?;
     let capacity = net.capacity();
-    // Shared served-set table: the chain state bound keeps M tiny in
-    // practice, but an N = 1 network can have M > MAX_TABLE_MEMORIES, so
-    // fall back to the closed form (exact for full/crossbar) when it
-    // doesn't fit.
-    let served_table = ServedTable::build(net).ok();
+    // Shared (memoized) served-set table: the chain state bound keeps M
+    // tiny in practice, but an N = 1 network can have
+    // M > MAX_TABLE_MEMORIES, so fall back to the closed form (exact for
+    // full/crossbar) when it doesn't fit.
+    let served_table = memo::served_table(net).ok();
 
     // Encode state: digit p = 0 for "no pending", j+1 for "pending on j".
     let decode = |mut s: usize| -> Vec<Option<usize>> {
@@ -297,8 +298,9 @@ fn enumerate_draws(
     destinations[p] = None;
 }
 
-/// All `size`-subsets of `items`.
-fn subsets_of_size(items: &[usize], size: usize) -> Vec<Vec<usize>> {
+/// All `size`-subsets of `items` (shared with the lumped chain's service
+/// stage).
+pub(crate) fn subsets_of_size(items: &[usize], size: usize) -> Vec<Vec<usize>> {
     debug_assert!(choose(items.len() as u64, size as u64).is_some());
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(size);

@@ -15,7 +15,7 @@
 //! - **R3 `eq_doc`** — paper-formula functions in `mbus-analysis` /
 //!   `mbus-exact` must cite their equation number (`eq (N)`) in docs.
 //! - **R4 `invariant_wiring`** — public bandwidth/probability functions in
-//!   the five formula modules must route results through
+//!   the seven formula modules must route results through
 //!   `mbus_stats::prob::check`.
 //!
 //! Violations are suppressed by per-line `// lint:allow(rule, reason)`

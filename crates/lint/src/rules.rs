@@ -5,7 +5,7 @@
 //! | R1 | `no_panic` | every workspace crate, non-test code |
 //! | R2 | `lossy_cast` | `mbus-sim`, `mbus-core`, `mbus-stats`, `mbus-topology` |
 //! | R3 | `eq_doc` | `mbus-analysis`, `mbus-exact` |
-//! | R4 | `invariant_wiring` | the five formula modules |
+//! | R4 | `invariant_wiring` | the seven formula modules |
 //! | —  | `allow_hygiene` | pragmas and the `lint.allow` file themselves |
 
 use crate::lexer::{fn_items, idents, next_significant_char, CleanFile};
@@ -98,13 +98,15 @@ pub const LOSSY_CAST_CRATES: [&str; 4] = ["sim", "core", "stats", "topology"];
 /// Crates R3 applies to.
 pub const EQ_DOC_CRATES: [&str; 2] = ["analysis", "exact"];
 
-/// The five formula modules R4 applies to.
-pub const FORMULA_MODULES: [&str; 5] = [
+/// The seven formula modules R4 applies to.
+pub const FORMULA_MODULES: [&str; 7] = [
     "crates/analysis/src/bandwidth.rs",
     "crates/analysis/src/degraded.rs",
     "crates/analysis/src/paper.rs",
     "crates/exact/src/enumerate.rs",
+    "crates/exact/src/lumped.rs",
     "crates/exact/src/markov.rs",
+    "crates/exact/src/transform.rs",
 ];
 
 /// R1 applies to every workspace crate (the CLI included — its command
@@ -398,7 +400,7 @@ pub fn memory_bandwidth(x: f64) -> f64 { full_bandwidth(x) }
         // Same file, non-formula name: exempt.
         let other = "pub fn render(x: f64) -> f64 { x * 2.0 }\n";
         assert!(run("analysis", "crates/analysis/src/bandwidth.rs", other).is_empty());
-        // Formula fn outside the five modules: exempt.
+        // Formula fn outside the formula modules: exempt.
         assert!(run("analysis", "crates/analysis/src/sweep.rs", src).is_empty());
     }
 

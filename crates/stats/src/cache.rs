@@ -1,0 +1,190 @@
+//! A small sharded memoization cache for cross-sweep reuse.
+//!
+//! Design-space sweeps, table regeneration, and fault campaigns repeatedly
+//! evaluate identical subproblems: the same `ServedTable` for one network at
+//! many request rates, the same containment-power vector for one workload at
+//! many bus counts, the same degraded breakdown for every equivalent fault
+//! mask. [`MemoCache`] lets those layers share results across calls (and
+//! across the worker threads of `parallel::parallel_map`) without taking a
+//! dependency or holding a lock while computing.
+//!
+//! Properties:
+//!
+//! * **Sharded `RwLock`s** — lookups from many threads mostly take read
+//!   locks on different shards, so a sweep hammering the cache does not
+//!   serialize on one mutex.
+//! * **Lock-free compute** — `get_or_insert_with` drops every lock before
+//!   invoking the compute closure. Nested lookups (a cached value whose
+//!   computation consults the same cache) therefore cannot deadlock. The
+//!   cost is that two threads racing on a cold key may both compute it; the
+//!   first insert wins and later racers adopt the winner's `Arc`, so all
+//!   callers observe one canonical value.
+//! * **Bounded** — each shard holds at most `capacity_per_shard` entries;
+//!   when a shard is full, new values are returned to the caller but not
+//!   retained. No eviction machinery, no unbounded growth.
+//! * **Poison-tolerant** — a panicking writer elsewhere must not take the
+//!   whole analysis down, so poisoned locks are recovered with
+//!   `PoisonError::into_inner` instead of propagating the panic.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// One shard: a lock around its slice of the key space.
+type Shard<K, V> = RwLock<HashMap<K, Arc<V>>>;
+
+/// Sharded, bounded memoization cache mapping `K` to `Arc<V>`.
+///
+/// See the [module docs](self) for the concurrency contract.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V> MemoCache<K, V> {
+    /// Creates a cache with `shards` independent shards (clamped to at least
+    /// one) of at most `capacity_per_shard` entries each.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        MemoCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = hasher.finish() % u64::try_from(self.shards.len()).unwrap_or(1);
+        // The modulus is a live in-range usize, so the index converts back
+        // losslessly even on 32-bit targets.
+        let index = usize::try_from(index).unwrap_or(0);
+        &self.shards[index]
+    }
+
+    /// Returns the cached value for `key`, or computes, caches, and returns
+    /// it. `compute` runs with **no lock held**, so it may itself consult
+    /// this (or any other) cache.
+    ///
+    /// If two threads race on a cold key, both compute; the first to insert
+    /// wins and both receive the winning `Arc`.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(found) = self.get(&key) {
+            return found;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(compute());
+        let mut map = self
+            .shard(&key)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(winner) = map.get(&key) {
+            return Arc::clone(winner);
+        }
+        if map.len() < self.capacity_per_shard {
+            map.insert(key, Arc::clone(&fresh));
+        }
+        fresh
+    }
+
+    /// Returns the cached value for `key` without computing anything.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let map = self
+            .shard(key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let found = map.get(key).map(Arc::clone);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Number of retained entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether the cache currently retains no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained entry (outstanding `Arc`s stay alive).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute (racing threads each count).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_then_warm() {
+        let cache: MemoCache<u32, u32> = MemoCache::new(4, 16);
+        let a = cache.get_or_insert_with(7, || 49);
+        assert_eq!(*a, 49);
+        assert_eq!(cache.misses(), 1);
+        // Warm hit returns the same Arc and never re-computes.
+        let b = cache.get_or_insert_with(7, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_retention_but_not_results() {
+        let cache: MemoCache<u32, u32> = MemoCache::new(1, 2);
+        for k in 0..10 {
+            assert_eq!(*cache.get_or_insert_with(k, move || k * 2), k * 2);
+        }
+        assert_eq!(cache.len(), 2, "shard retains at most its capacity");
+        // Overflow keys still produce correct (uncached) values.
+        assert_eq!(*cache.get_or_insert_with(9, || 18), 18);
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let cache: MemoCache<u32, u32> = MemoCache::new(4, 16);
+        for k in 0..8 {
+            cache.get_or_insert_with(k, move || k);
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn nested_lookup_on_same_cache_does_not_deadlock() {
+        let cache: MemoCache<u32, u32> = MemoCache::new(1, 16);
+        // Key 1's computation consults key 0 on the same (single-shard)
+        // cache; with a held lock this would self-deadlock.
+        let v = cache.get_or_insert_with(1, || *cache.get_or_insert_with(0, || 5) * 2);
+        assert_eq!(*v, 10);
+    }
+}

@@ -13,6 +13,10 @@
 //!   cycle") with exact quantiles.
 //! * [`parallel`] — a dependency-free `parallel_map` over scoped threads,
 //!   the engine behind multi-point sweeps and table regeneration.
+//! * [`cache`] — a sharded, bounded memoization cache ([`cache::MemoCache`])
+//!   shared by sweeps, table builders, and fault campaigns so identical
+//!   subproblems (served-set tables, containment-power vectors, degraded
+//!   breakdowns) are computed once.
 //! * [`prob`] — probability building blocks: stable binomial coefficients and
 //!   pmfs, the Poisson-binomial distribution (heterogeneous success
 //!   probabilities, needed for the generalized bus-interference analysis),
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod cache;
 mod ci;
 mod histogram;
 pub mod parallel;

@@ -53,6 +53,7 @@
 mod error;
 mod favorite;
 mod fractions;
+mod groups;
 mod hierarchical;
 mod hierarchy;
 mod matrix;
@@ -65,6 +66,7 @@ mod uniform;
 pub use error::WorkloadError;
 pub use favorite::FavoriteModel;
 pub use fractions::Fractions;
+pub use groups::{RowGroups, WorkloadFingerprint};
 pub use hierarchical::HierarchicalModel;
 pub use hierarchy::{Hierarchy, LeafKind};
 pub use matrix::RequestMatrix;

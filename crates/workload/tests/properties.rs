@@ -1,8 +1,8 @@
 //! Property-based tests for the workload models.
 
 use mbus_workload::{
-    AliasSampler, FavoriteModel, Fractions, HierarchicalModel, Hierarchy, RequestModel,
-    UniformModel, WorkloadSampler,
+    AliasSampler, FavoriteModel, Fractions, HierarchicalModel, Hierarchy, RequestMatrix,
+    RequestModel, UniformModel, WorkloadSampler,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -20,6 +20,32 @@ fn shares_for(levels: usize) -> impl Strategy<Value = Vec<f64>> {
         let total: f64 = raw.iter().sum();
         raw.into_iter().map(|v| v / total).collect()
     })
+}
+
+/// Arbitrary matrices built from a small pool of distinct rows duplicated
+/// by a random assignment — the structure `RowGroups` must recover.
+fn duplicated_row_matrix() -> impl Strategy<Value = (RequestMatrix, Vec<usize>)> {
+    (2usize..=5, 1usize..=4)
+        .prop_flat_map(|(m, pool)| {
+            let rows = proptest::collection::vec(
+                proptest::collection::vec(0.05f64..1.0, m),
+                pool,
+            );
+            let picks = proptest::collection::vec(0..pool, 1..=10);
+            (rows, picks)
+        })
+        .prop_map(|(raw_rows, picks)| {
+            let pool: Vec<Vec<f64>> = raw_rows
+                .into_iter()
+                .map(|raw| {
+                    let total: f64 = raw.iter().sum();
+                    raw.into_iter().map(|v| v / total).collect()
+                })
+                .collect();
+            let rows: Vec<Vec<f64>> = picks.iter().map(|&g| pool[g].clone()).collect();
+            let matrix = RequestMatrix::from_rows(rows).expect("normalized rows");
+            (matrix, picks)
+        })
 }
 
 proptest! {
@@ -92,6 +118,49 @@ proptest! {
             let lo = matrix.memory_request_prob(j, r).unwrap();
             let hi = matrix.memory_request_prob(j, (r + 0.05).min(1.0)).unwrap();
             prop_assert!(hi >= lo - 1e-12);
+        }
+    }
+
+    /// `groups()` round-trips the matrix: rebuilding each row from its
+    /// group's representative reproduces the matrix bit-for-bit, the group
+    /// sizes partition the processors, and two processors share a group
+    /// exactly when their rows are bit-identical.
+    #[test]
+    fn row_groups_round_trip_matrix((matrix, picks) in duplicated_row_matrix()) {
+        let groups = matrix.groups();
+        let n = matrix.processors();
+        prop_assert_eq!(groups.is_empty(), false);
+
+        // Partition: sizes sum to N; representatives strictly increase and
+        // belong to their own group.
+        let total: usize = (0..groups.len()).map(|g| groups.count(g)).sum();
+        prop_assert_eq!(total, n);
+        for g in 0..groups.len() {
+            let rep = groups.representative(g);
+            prop_assert_eq!(groups.group_of(rep), g);
+            if g > 0 {
+                prop_assert!(rep > groups.representative(g - 1));
+            }
+        }
+
+        // Round trip: every row equals its representative's row, bit for bit.
+        for p in 0..n {
+            let rep = groups.representative(groups.group_of(p));
+            let rebuilt: Vec<u64> = matrix.row(rep).iter().map(|v| v.to_bits()).collect();
+            let original: Vec<u64> = matrix.row(p).iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(rebuilt, original, "processor {}", p);
+        }
+
+        // Exactness: same group ⟺ same pool pick (pool rows are distinct
+        // with probability 1; guard with a bit-level check so duplicate
+        // random pool rows cannot produce a false failure).
+        for p in 0..n {
+            for q in 0..n {
+                let same_bits = matrix.row(p).iter().map(|v| v.to_bits())
+                    .eq(matrix.row(q).iter().map(|v| v.to_bits()));
+                prop_assert_eq!(groups.group_of(p) == groups.group_of(q), same_bits,
+                    "processors {} / {} (picks {:?})", p, q, &picks);
+            }
         }
     }
 
