@@ -191,6 +191,10 @@ struct ExactResult {
     lumped_throughput: f64,
     lumped_seconds: f64,
     unlumped_rejected: bool,
+    /// Cross-sweep pmf memo counters at the end of the run.
+    pmf_cache: mbus_core::stats::cache::CacheStats,
+    /// Served-set lookup-table memo counters at the end of the run.
+    served_cache: mbus_core::stats::cache::CacheStats,
 }
 
 impl ExactResult {
@@ -268,6 +272,8 @@ fn exact_benchmark(reps: usize) -> Result<ExactResult, String> {
         lumped_throughput: steady.throughput,
         lumped_seconds,
         unlumped_rejected,
+        pmf_cache: exact::transform::pmf_cache_stats(),
+        served_cache: exact::memo::served_table_cache_stats(),
     })
 }
 
@@ -319,7 +325,11 @@ fn exact_json(exact: &ExactResult) -> String {
          \"lumped\": {{\n      \"n\": {ln},\n      \"m\": {lm},\n      \"b\": {lb},\n      \
          \"workload\": \"uniform\",\n      \"rate\": 1.0,\n      \"states\": {states},\n      \
          \"throughput\": {tp:.6},\n      \"seconds\": {ls:.6},\n      \
-         \"unlumped_rejected\": {rejected}\n    }}\n  }}",
+         \"unlumped_rejected\": {rejected}\n    }},\n    \
+         \"caches\": {{\n      \"pmf\": {{ \"hits\": {ph}, \"misses\": {pm}, \
+         \"inserts\": {pi}, \"entries\": {pl} }},\n      \
+         \"served_tables\": {{ \"hits\": {sh}, \"misses\": {sm}, \
+         \"inserts\": {si}, \"entries\": {sl} }}\n    }}\n  }}",
         n = exact.n,
         m = exact.m,
         b = exact.b,
@@ -334,6 +344,14 @@ fn exact_json(exact: &ExactResult) -> String {
         tp = exact.lumped_throughput,
         ls = exact.lumped_seconds,
         rejected = exact.unlumped_rejected,
+        ph = exact.pmf_cache.hits,
+        pm = exact.pmf_cache.misses,
+        pi = exact.pmf_cache.inserts,
+        pl = exact.pmf_cache.len,
+        sh = exact.served_cache.hits,
+        sm = exact.served_cache.misses,
+        si = exact.served_cache.inserts,
+        sl = exact.served_cache.len,
     )
 }
 
@@ -398,6 +416,16 @@ pub fn bench(args: &Args) -> Result<(), String> {
     println!(
         "  lumped:    {:>12} states, throughput {:.4}, {:.4} sec (unlumped rejected: {})",
         exact.lumped_states, exact.lumped_throughput, exact.lumped_seconds, exact.unlumped_rejected
+    );
+    println!(
+        "  caches:    pmf {}/{} hits ({:.0}% hit rate, {} entries), served tables {}/{} hits ({} entries)",
+        exact.pmf_cache.hits,
+        exact.pmf_cache.hits + exact.pmf_cache.misses,
+        exact.pmf_cache.hit_rate() * 100.0,
+        exact.pmf_cache.len,
+        exact.served_cache.hits,
+        exact.served_cache.hits + exact.served_cache.misses,
+        exact.served_cache.len,
     );
     sections.push(exact_json(&exact));
 
@@ -491,11 +519,25 @@ mod tests {
             lumped_throughput: 3.9963,
             lumped_seconds: 0.01,
             unlumped_rejected: true,
+            pmf_cache: mbus_core::stats::cache::CacheStats {
+                hits: 3,
+                misses: 2,
+                inserts: 2,
+                len: 2,
+            },
+            served_cache: mbus_core::stats::cache::CacheStats {
+                hits: 10,
+                misses: 1,
+                inserts: 1,
+                len: 1,
+            },
         };
         let json = render_json(&[exact_json(&exact)]);
         assert!(json.contains("\"speedup\": 40.0"));
         assert!(json.contains("\"unlumped_rejected\": true"));
         assert!(json.contains("\"states\": 481"));
+        assert!(json.contains("\"pmf\": { \"hits\": 3, \"misses\": 2"));
+        assert!(json.contains("\"served_tables\": { \"hits\": 10"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -7,6 +7,7 @@
 mod args;
 mod bench;
 mod commands;
+mod serve;
 
 use args::Args;
 use std::process::ExitCode;
@@ -55,6 +56,19 @@ COMMANDS:
                           [--n 32] [--b 8] [--cycles 200000] [--seed 42]
                           [--reps 5] [--sweep-n 64] [--out BENCH_sim.json]
                           [--exact  run only the exact-engine section]
+    serve                 run the bandwidth-query HTTP service:
+                          POST /v1/{bandwidth,exact,simulate,degraded},
+                          GET /metrics; graceful drain on SIGTERM/ctrl-c
+                          [--addr 127.0.0.1:7700] [--workers cores]
+                          [--cache-cap 256] [--queue-cap 64]
+                          [--max-cycles 2000000]
+    loadgen               drive a running server with a deterministic
+                          mixed-endpoint grid; reports throughput, latency
+                          quantiles, and the cold/warm cache speedup;
+                          writes BENCH_server.json
+                          [--addr 127.0.0.1:7700] [--concurrency 4]
+                          [--requests 256] [--passes 2]
+                          [--out BENCH_server.json]
     help                  show this message
 
 EXAMPLES:
@@ -64,6 +78,8 @@ EXAMPLES:
     mbus faults --scheme kclass --n 8 --b 4 --check
     mbus lint --json
     mbus render --scheme kclass --n 3 --m 6 --b 4 --classes 3
+    mbus serve --addr 127.0.0.1:7700 --workers 4
+    mbus loadgen --requests 512 --concurrency 8
 ";
 
 fn main() -> ExitCode {
@@ -82,6 +98,8 @@ fn main() -> ExitCode {
         "lint" => commands::lint(&args),
         "experiments" => commands::experiments(),
         "bench" => bench::bench(&args),
+        "serve" => serve::serve(&args),
+        "loadgen" => serve::loadgen_cmd(&args),
         "help" | "" => {
             print!("{HELP}");
             Ok(())

@@ -14,7 +14,7 @@
 //! freshly built table — the cache is a fast path, never a correctness
 //! dependency.
 
-use mbus_stats::cache::MemoCache;
+use mbus_stats::cache::{CacheStats, MemoCache};
 use mbus_topology::{BusNetwork, ServedTable, TopologyError};
 use std::sync::{Arc, OnceLock};
 
@@ -41,6 +41,12 @@ pub fn served_table(net: &BusNetwork) -> Result<Arc<ServedTable>, TopologyError>
     // memoized; a lost race merely builds the table twice.
     let built = ServedTable::build(net)?;
     Ok(table_cache().get_or_insert_with(key, move || built))
+}
+
+/// Counter snapshot of the process-wide served-set table cache, for
+/// `mbus bench --exact` and the serving layer's `/metrics`.
+pub fn served_table_cache_stats() -> CacheStats {
+    table_cache().stats()
 }
 
 #[cfg(test)]

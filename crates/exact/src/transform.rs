@@ -152,6 +152,12 @@ pub fn cached_requested_set_pmf(
     Ok(pmf_cache().get_or_insert_with(key, move || pmf))
 }
 
+/// Counter snapshot of the process-wide requested-set pmf cache, for
+/// `mbus bench --exact` and the serving layer's `/metrics`.
+pub fn pmf_cache_stats() -> mbus_stats::cache::CacheStats {
+    pmf_cache().stats()
+}
+
 /// Exact effective memory bandwidth by the subset transform: the
 /// requested-set pmf folded through the scheme's served-count table
 /// (eq (4)/(8)/(9)-style expectations, computed without the paper's

@@ -245,6 +245,19 @@ fn parse_allowlist(source: &str) -> (Vec<AllowEntry>, Vec<Violation>) {
 /// Enumerates every workspace `.rs` source under `root` with its crate
 /// name: `src/` of the root package plus `crates/*/src/`. The vendor tree,
 /// `tests/`, `benches/`, and `examples/` directories are out of scope.
+///
+/// Public so the workspace gate test can assert which files the pass
+/// actually covers (e.g. that a newly added crate is walked).
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking the tree.
+pub fn workspace_source_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    workspace_sources(root)
+}
+
+/// Implementation of [`workspace_source_files`], kept private-named for the
+/// internal call sites.
 fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files: Vec<(String, String)> = Vec::new();
     let root_src = root.join("src");

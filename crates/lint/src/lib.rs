@@ -11,7 +11,8 @@
 //!   no-panic guarantee for user-reachable paths.
 //! - **R2 `lossy_cast`** — no narrowing or sign-changing `as` casts in the
 //!   numeric crates (`mbus-sim`, `mbus-core`, `mbus-stats`,
-//!   `mbus-topology`); use `try_from` or an annotated allow.
+//!   `mbus-topology`) or the server's JSON number handling
+//!   (`mbus-server`); use `try_from` or an annotated allow.
 //! - **R3 `eq_doc`** — paper-formula functions in `mbus-analysis` /
 //!   `mbus-exact` must cite their equation number (`eq (N)`) in docs.
 //! - **R4 `invariant_wiring`** — public bandwidth/probability functions in
@@ -44,6 +45,6 @@ pub mod lexer;
 pub mod report;
 pub mod rules;
 
-pub use engine::{lint_source, lint_workspace, LintReport, ALLOWLIST_FILE};
+pub use engine::{lint_source, lint_workspace, workspace_source_files, LintReport, ALLOWLIST_FILE};
 pub use report::{render_human, render_json};
 pub use rules::{Rule, Violation};

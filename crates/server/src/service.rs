@@ -1,0 +1,700 @@
+//! Endpoint dispatch: JSON bodies in, engine results out.
+//!
+//! The four query endpoints mirror the `mbus` CLI surface one-to-one —
+//! identical field names, identical defaults — so a `curl` body and a CLI
+//! invocation describe the same experiment:
+//!
+//! | endpoint | engine |
+//! |---|---|
+//! | `POST /v1/bandwidth` | closed-form analysis (`System::analytic`) |
+//! | `POST /v1/exact` | subset-transform / closed-form exact (`System::exact`) |
+//! | `POST /v1/simulate` | bounded-cycle simulation (`System::simulate`) |
+//! | `POST /v1/degraded` | fault-mask analysis (`degraded_analyze`) |
+//!
+//! Parsing is strict: unknown fields are rejected (a typoed `cylces` must
+//! not silently simulate the default budget), every dimension and the cycle
+//! budget are capped by [`ServiceLimits`], and every failure — malformed
+//! JSON, bad field type, domain error from the engines — maps to a
+//! structured [`ApiError`] with an HTTP status, a machine-readable `kind`,
+//! and a human-readable message. Nothing in this module panics.
+//!
+//! Successful parses yield a [`Query`] whose [`Query::key`] is a stable
+//! hash key (workload fingerprint, canonical network rendering, rate bits,
+//! and endpoint extras) used by the server's [`MemoCache`] to memoize the
+//! rendered result.
+//!
+//! [`MemoCache`]: mbus_stats::cache::MemoCache
+
+use crate::json::{self, obj, Json};
+use mbus_core::prelude::{
+    degraded_analyze, ConnectionScheme, FaultMask, FavoriteModel, HierarchicalModel,
+    RequestMatrix, RequestModel, SimConfig, System, UniformModel,
+};
+use mbus_core::workload::WorkloadFingerprint;
+
+/// Caps protecting the service from abusive (or typoed) workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLimits {
+    /// Largest accepted `n`, `m`, or `b`.
+    pub max_dimension: usize,
+    /// Largest accepted `cycles + warmup` for `/v1/simulate`.
+    pub max_cycles: u64,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        ServiceLimits {
+            max_dimension: 1024,
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+/// The four query endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// `POST /v1/bandwidth` — closed-form analytical breakdown.
+    Bandwidth,
+    /// `POST /v1/exact` — approximation-free bandwidth.
+    Exact,
+    /// `POST /v1/simulate` — cycle-accurate simulation.
+    Simulate,
+    /// `POST /v1/degraded` — degraded-mode analysis under a bus fault mask.
+    Degraded,
+}
+
+impl Endpoint {
+    /// Maps a request path to its endpoint.
+    pub fn from_path(path: &str) -> Option<Endpoint> {
+        match path {
+            "/v1/bandwidth" => Some(Endpoint::Bandwidth),
+            "/v1/exact" => Some(Endpoint::Exact),
+            "/v1/simulate" => Some(Endpoint::Simulate),
+            "/v1/degraded" => Some(Endpoint::Degraded),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (used in responses and metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Bandwidth => "bandwidth",
+            Endpoint::Exact => "exact",
+            Endpoint::Simulate => "simulate",
+            Endpoint::Degraded => "degraded",
+        }
+    }
+
+    /// All endpoints, in dispatch order.
+    pub const ALL: [Endpoint; 4] = [
+        Endpoint::Bandwidth,
+        Endpoint::Exact,
+        Endpoint::Simulate,
+        Endpoint::Degraded,
+    ];
+
+    /// Index into per-endpoint arrays (metrics slots).
+    pub(crate) fn index(self) -> usize {
+        usize::from(self.discriminant())
+    }
+
+    fn discriminant(self) -> u8 {
+        match self {
+            Endpoint::Bandwidth => 0,
+            Endpoint::Exact => 1,
+            Endpoint::Simulate => 2,
+            Endpoint::Degraded => 3,
+        }
+    }
+}
+
+/// A structured request failure: HTTP status, machine-readable kind, and a
+/// human-readable message. Rendered as `{"error":{"kind":…,"message":…}}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Stable machine-readable category (`bad_json`, `bad_request`, …).
+    pub kind: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400 with kind `bad_json`: the body is not a JSON document.
+    pub fn bad_json(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            kind: "bad_json",
+            message: message.into(),
+        }
+    }
+
+    /// 400 with kind `bad_request`: a field is missing, mistyped, unknown,
+    /// or fails domain validation.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            kind: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// 422 with kind `unsupported`: a well-formed query the engines cannot
+    /// evaluate (e.g. exact enumeration beyond the memory limit).
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 422,
+            kind: "unsupported",
+            message: message.into(),
+        }
+    }
+
+    /// 422 with kind `too_large`: a dimension or budget exceeds
+    /// [`ServiceLimits`].
+    pub fn too_large(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 422,
+            kind: "too_large",
+            message: message.into(),
+        }
+    }
+
+    /// The JSON error body.
+    pub fn to_body(&self) -> String {
+        obj(vec![(
+            "error",
+            obj(vec![
+                ("kind", Json::Str(self.kind.to_owned())),
+                ("message", Json::Str(self.message.clone())),
+            ]),
+        )])
+        .render()
+    }
+}
+
+/// Simulation parameters (only meaningful for [`Endpoint::Simulate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimParams {
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Warmup cycles excluded from statistics.
+    pub warmup: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether blocked requests are resubmitted instead of dropped.
+    pub resubmission: bool,
+}
+
+/// A validated, evaluatable query.
+#[derive(Debug)]
+pub struct Query {
+    endpoint: Endpoint,
+    system: System,
+    rate: f64,
+    sim: SimParams,
+    failed_buses: Vec<usize>,
+}
+
+/// Stable cache key: endpoint + canonical network rendering + workload
+/// fingerprint + rate bits + endpoint-specific extras.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    endpoint: u8,
+    network: String,
+    workload: WorkloadFingerprint,
+    rate_bits: u64,
+    extra: Vec<u64>,
+}
+
+impl Query {
+    /// Which endpoint this query targets.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// The memoization key for this query's rendered result.
+    pub fn key(&self) -> QueryKey {
+        let extra = match self.endpoint {
+            Endpoint::Bandwidth | Endpoint::Exact => Vec::new(),
+            Endpoint::Simulate => vec![
+                self.sim.cycles,
+                self.sim.warmup,
+                self.sim.seed,
+                u64::from(self.sim.resubmission),
+            ],
+            Endpoint::Degraded => {
+                let mut buses: Vec<u64> = self
+                    .failed_buses
+                    .iter()
+                    .map(|&b| u64::try_from(b).unwrap_or(u64::MAX))
+                    .collect();
+                buses.sort_unstable();
+                buses
+            }
+        };
+        QueryKey {
+            endpoint: self.endpoint.discriminant(),
+            network: format!("{:?}", self.system.network()),
+            workload: self.system.matrix().fingerprint(),
+            rate_bits: self.rate.to_bits(),
+            extra,
+        }
+    }
+}
+
+/// Parses raw body bytes into a JSON value (empty body ⇒ empty object, so
+/// every endpoint works with its CLI defaults).
+///
+/// # Errors
+///
+/// [`ApiError::bad_json`] on non-UTF-8 or malformed JSON.
+pub fn parse_body(bytes: &[u8]) -> Result<Json, ApiError> {
+    if bytes.is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| ApiError::bad_json("body is not UTF-8"))?;
+    json::parse(text).map_err(|e| ApiError::bad_json(e.to_string()))
+}
+
+/// Keys shared by every endpoint.
+const COMMON_KEYS: [&str; 10] = [
+    "n", "m", "b", "rate", "scheme", "groups", "classes", "workload", "clusters", "alpha",
+];
+/// Extra keys accepted by `/v1/simulate`.
+const SIM_KEYS: [&str; 4] = ["cycles", "warmup", "seed", "resubmission"];
+/// Extra key accepted by `/v1/degraded`.
+const DEGRADED_KEYS: [&str; 1] = ["failed_buses"];
+
+fn field_usize(body: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value.as_usize().ok_or_else(|| {
+            ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn field_u64(body: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value.as_u64().ok_or_else(|| {
+            ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn field_f64(body: &Json, key: &str, default: f64) -> Result<f64, ApiError> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request(format!("`{key}` must be a number"))),
+    }
+}
+
+fn field_bool(body: &Json, key: &str, default: bool) -> Result<bool, ApiError> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| ApiError::bad_request(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn field_str<'a>(body: &'a Json, key: &str, default: &'a str) -> Result<&'a str, ApiError> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request(format!("`{key}` must be a string"))),
+    }
+}
+
+/// Builds the connection scheme — same names and defaults as the CLI's
+/// `--scheme` flag.
+fn scheme_from(body: &Json, m: usize, b: usize) -> Result<ConnectionScheme, ApiError> {
+    match field_str(body, "scheme", "full")? {
+        "full" => Ok(ConnectionScheme::Full),
+        "crossbar" => Ok(ConnectionScheme::Crossbar),
+        "single" => {
+            ConnectionScheme::balanced_single(m, b).map_err(|e| ApiError::bad_request(e.to_string()))
+        }
+        "partial" => {
+            let groups = field_usize(body, "groups", 2)?;
+            Ok(ConnectionScheme::PartialGroups { groups })
+        }
+        "kclass" => {
+            let classes = field_usize(body, "classes", b)?;
+            ConnectionScheme::uniform_classes(m, classes)
+                .map_err(|e| ApiError::bad_request(e.to_string()))
+        }
+        other => Err(ApiError::bad_request(format!(
+            "unknown scheme '{other}' (expected full|single|partial|kclass|crossbar)"
+        ))),
+    }
+}
+
+/// Builds the request matrix — same names and defaults as the CLI's
+/// `--workload` flag.
+fn workload_from(body: &Json, n: usize, m: usize) -> Result<RequestMatrix, ApiError> {
+    match field_str(body, "workload", "hier")? {
+        "hier" | "hierarchical" => {
+            let clusters = field_usize(body, "clusters", 4)?;
+            if n != m {
+                return Err(ApiError::bad_request(
+                    "hierarchical workload requires n = m (paired leaves)",
+                ));
+            }
+            let model = HierarchicalModel::two_level_paired(n, clusters, [0.6, 0.3, 0.1])
+                .map_err(|e| ApiError::bad_request(e.to_string()))?;
+            Ok(model.matrix())
+        }
+        "uniform" => Ok(UniformModel::new(n, m)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?
+            .matrix()),
+        "favorite" => {
+            let alpha = field_f64(body, "alpha", 0.5)?;
+            Ok(FavoriteModel::new(n, m, alpha)
+                .map_err(|e| ApiError::bad_request(e.to_string()))?
+                .matrix())
+        }
+        other => Err(ApiError::bad_request(format!(
+            "unknown workload '{other}' (expected hier|uniform|favorite)"
+        ))),
+    }
+}
+
+/// Parses and validates a request body for `endpoint`.
+///
+/// # Errors
+///
+/// [`ApiError`] with status 400 on structural/domain problems and 422 when
+/// a limit in `limits` is exceeded.
+pub fn parse_query(
+    endpoint: Endpoint,
+    body: &Json,
+    limits: &ServiceLimits,
+) -> Result<Query, ApiError> {
+    let fields = match body {
+        Json::Obj(fields) => fields,
+        _ => return Err(ApiError::bad_request("body must be a JSON object")),
+    };
+    for (key, _) in fields {
+        let known = COMMON_KEYS.contains(&key.as_str())
+            || (endpoint == Endpoint::Simulate && SIM_KEYS.contains(&key.as_str()))
+            || (endpoint == Endpoint::Degraded && DEGRADED_KEYS.contains(&key.as_str()));
+        if !known {
+            return Err(ApiError::bad_request(format!(
+                "unknown field `{key}` for /v1/{}",
+                endpoint.name()
+            )));
+        }
+    }
+
+    let n = field_usize(body, "n", 8)?;
+    let m = field_usize(body, "m", n)?;
+    let b = field_usize(body, "b", 4)?;
+    for (name, value) in [("n", n), ("m", m), ("b", b)] {
+        if value == 0 {
+            return Err(ApiError::bad_request(format!("`{name}` must be positive")));
+        }
+        if value > limits.max_dimension {
+            return Err(ApiError::too_large(format!(
+                "`{name}` = {value} exceeds the service limit of {}",
+                limits.max_dimension
+            )));
+        }
+    }
+    let rate = field_f64(body, "rate", 1.0)?;
+    let scheme = scheme_from(body, m, b)?;
+    let net = mbus_core::topology::BusNetwork::new(n, m, b, scheme)
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let matrix = workload_from(body, n, m)?;
+    // `from_matrix` runs the closed-form analysis once, so rate/dimension
+    // domain errors surface here as 400s rather than at evaluation time.
+    let system = System::from_matrix(net, matrix, rate)
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+
+    let sim = if endpoint == Endpoint::Simulate {
+        let cycles = field_u64(body, "cycles", 100_000)?;
+        let warmup = field_u64(body, "warmup", cycles / 20)?;
+        if cycles == 0 {
+            return Err(ApiError::bad_request("`cycles` must be positive"));
+        }
+        let total = cycles.saturating_add(warmup);
+        if total > limits.max_cycles {
+            return Err(ApiError::too_large(format!(
+                "cycles + warmup = {total} exceeds the service budget of {}",
+                limits.max_cycles
+            )));
+        }
+        SimParams {
+            cycles,
+            warmup,
+            seed: field_u64(body, "seed", 0)?,
+            resubmission: field_bool(body, "resubmission", false)?,
+        }
+    } else {
+        SimParams {
+            cycles: 0,
+            warmup: 0,
+            seed: 0,
+            resubmission: false,
+        }
+    };
+
+    let failed_buses = if endpoint == Endpoint::Degraded {
+        let failed = match body.get("failed_buses") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(items)) => {
+                let mut buses = Vec::with_capacity(items.len());
+                for item in items {
+                    buses.push(item.as_usize().ok_or_else(|| {
+                        ApiError::bad_request("`failed_buses` entries must be bus indices")
+                    })?);
+                }
+                buses
+            }
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "`failed_buses` must be an array of bus indices",
+                ))
+            }
+        };
+        // Validate indices now so evaluation cannot fail on the mask.
+        FaultMask::with_failures(b, &failed).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        failed
+    } else {
+        Vec::new()
+    };
+
+    Ok(Query {
+        endpoint,
+        system,
+        rate,
+        sim,
+        failed_buses,
+    })
+}
+
+/// Evaluates a parsed query against the engines, returning the result
+/// object (the `result` field of the response envelope).
+///
+/// # Errors
+///
+/// [`ApiError`] (status 422) when an engine cannot evaluate the query —
+/// e.g. exact enumeration beyond the memory limit.
+pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
+    match query.endpoint {
+        Endpoint::Bandwidth => {
+            let breakdown = query
+                .system
+                .analytic()
+                .map_err(|e| ApiError::unsupported(e.to_string()))?;
+            let per_bus = match &breakdown.per_bus_busy {
+                Some(busy) => json::num_array(busy),
+                None => Json::Null,
+            };
+            Ok(obj(vec![
+                ("bandwidth", Json::Num(breakdown.bandwidth)),
+                ("offered_load", Json::Num(breakdown.offered_load)),
+                ("acceptance", Json::Num(breakdown.acceptance)),
+                ("per_bus_busy", per_bus),
+            ]))
+        }
+        Endpoint::Exact => {
+            let bandwidth = query
+                .system
+                .exact()
+                .map_err(|e| ApiError::unsupported(e.to_string()))?;
+            let method = if query.system.network().memories()
+                <= mbus_core::exact::enumerate::MAX_MEMORIES
+            {
+                "enumeration"
+            } else {
+                "crossbar_closed_form"
+            };
+            Ok(obj(vec![
+                ("bandwidth", Json::Num(bandwidth)),
+                ("method", Json::Str(method.to_owned())),
+            ]))
+        }
+        Endpoint::Simulate => {
+            let config = SimConfig::new(query.sim.cycles)
+                .with_warmup(query.sim.warmup)
+                .with_seed(query.sim.seed)
+                .with_resubmission(query.sim.resubmission);
+            let report = query
+                .system
+                .simulate(&config)
+                .map_err(|e| ApiError::unsupported(e.to_string()))?;
+            Ok(obj(vec![
+                ("bandwidth_mean", Json::Num(report.bandwidth.mean())),
+                (
+                    "bandwidth_half_width",
+                    Json::Num(report.bandwidth.half_width()),
+                ),
+                ("confidence_level", Json::Num(report.bandwidth.level())),
+                ("offered_load", Json::Num(report.offered_load)),
+                ("acceptance", Json::Num(report.acceptance)),
+                ("unreachable_rate", Json::Num(report.unreachable_rate)),
+                ("mean_wait", Json::Num(report.mean_wait)),
+                ("max_wait", Json::Num(report.max_wait as f64)),
+                ("cycles", Json::Num(report.cycles as f64)),
+                ("warmup", Json::Num(report.warmup as f64)),
+                ("seed", Json::Num(query.sim.seed as f64)),
+                ("resubmission", Json::Bool(query.sim.resubmission)),
+                ("bus_utilization", json::num_array(&report.bus_utilization)),
+            ]))
+        }
+        Endpoint::Degraded => {
+            let net = query.system.network();
+            let mask = FaultMask::with_failures(net.buses(), &query.failed_buses)
+                .map_err(|e| ApiError::bad_request(e.to_string()))?;
+            let breakdown = degraded_analyze(net, query.system.matrix(), query.rate, &mask)
+                .map_err(|e| ApiError::unsupported(e.to_string()))?;
+            let per_class = match &breakdown.per_class_bandwidth {
+                Some(values) => json::num_array(values),
+                None => Json::Null,
+            };
+            Ok(obj(vec![
+                ("bandwidth", Json::Num(breakdown.bandwidth)),
+                ("offered_load", Json::Num(breakdown.offered_load)),
+                ("acceptance", Json::Num(breakdown.acceptance)),
+                ("unreachable_load", Json::Num(breakdown.unreachable_load)),
+                (
+                    "accessible_memories",
+                    Json::Num(breakdown.accessible_memories as f64),
+                ),
+                (
+                    "accessible_fraction",
+                    Json::Num(breakdown.accessible_fraction),
+                ),
+                ("alive_buses", Json::Num(mask.alive_count() as f64)),
+                ("per_bus_busy", json::num_array(&breakdown.per_bus_busy)),
+                ("per_class_bandwidth", per_class),
+            ]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(endpoint: Endpoint, body: &str) -> Result<Query, ApiError> {
+        parse_query(
+            endpoint,
+            &json::parse(body).unwrap(),
+            &ServiceLimits::default(),
+        )
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        // `{}` must mean the CLI's default experiment: 8x8x4 full
+        // connection, hierarchical workload, r = 1.
+        let query = parse(Endpoint::Bandwidth, "{}").unwrap();
+        let result = evaluate(&query).unwrap();
+        let bw = result.get("bandwidth").unwrap().as_f64().unwrap();
+        assert!((bw - 3.97).abs() < 0.011, "Table II cell, got {bw}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = parse(Endpoint::Bandwidth, r#"{"cylces": 10}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("cylces"));
+        // `cycles` is fine on /v1/simulate but unknown on /v1/bandwidth.
+        assert!(parse(Endpoint::Bandwidth, r#"{"cycles": 10}"#).is_err());
+        assert!(parse(Endpoint::Simulate, r#"{"cycles": 10}"#).is_ok());
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let err = parse(Endpoint::Bandwidth, r#"{"n": 5000}"#).unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "too_large"));
+        let err = parse(Endpoint::Simulate, r#"{"cycles": 3000000}"#).unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "too_large"));
+        let err = parse(Endpoint::Bandwidth, r#"{"n": 0}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn domain_errors_map_to_bad_request() {
+        for body in [
+            r#"{"rate": 1.5}"#,
+            r#"{"rate": -0.1}"#,
+            r#"{"scheme": "warp-drive"}"#,
+            r#"{"workload": "astrology"}"#,
+            r#"{"n": 8, "m": 4}"#,
+            r#"{"workload": "favorite", "alpha": 7.0}"#,
+        ] {
+            let err = parse(Endpoint::Bandwidth, body).unwrap_err();
+            assert_eq!(err.status, 400, "{body} should be a 400");
+        }
+        let err = parse(Endpoint::Degraded, r#"{"failed_buses": [9]}"#).unwrap_err();
+        assert_eq!(err.status, 400, "bus 9 of 4 is out of range");
+        let err = parse(Endpoint::Degraded, r#"{"failed_buses": "all"}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_what_matters() {
+        let a = parse(Endpoint::Bandwidth, "{}").unwrap().key();
+        let b = parse(Endpoint::Bandwidth, r#"{"n": 8}"#).unwrap().key();
+        assert_eq!(a, b, "explicit default == implicit default");
+        let c = parse(Endpoint::Exact, "{}").unwrap().key();
+        assert_ne!(a, c, "endpoint is part of the key");
+        let d = parse(Endpoint::Bandwidth, r#"{"rate": 0.5}"#).unwrap().key();
+        assert_ne!(a, d);
+        let e = parse(Endpoint::Simulate, r#"{"seed": 1}"#).unwrap().key();
+        let f = parse(Endpoint::Simulate, r#"{"seed": 2}"#).unwrap().key();
+        assert_ne!(e, f, "seed is part of the simulate key");
+        let g = parse(Endpoint::Degraded, r#"{"failed_buses": [1, 2]}"#)
+            .unwrap()
+            .key();
+        let h = parse(Endpoint::Degraded, r#"{"failed_buses": [2, 1]}"#)
+            .unwrap()
+            .key();
+        assert_eq!(g, h, "mask order is canonicalized");
+    }
+
+    #[test]
+    fn degraded_matches_direct_library_call() {
+        use mbus_core::prelude::*;
+        let query = parse(Endpoint::Degraded, r#"{"failed_buses": [0]}"#).unwrap();
+        let result = evaluate(&query).unwrap();
+        let net = BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap();
+        let matrix = mbus_core::paper_params::hierarchical(8).unwrap().matrix();
+        let mask = FaultMask::with_failures(4, &[0]).unwrap();
+        let expected = degraded_analyze(&net, &matrix, 1.0, &mask).unwrap();
+        assert_eq!(
+            result.get("bandwidth").unwrap().as_f64(),
+            Some(expected.bandwidth)
+        );
+        assert_eq!(result.get("alive_buses").unwrap().as_usize(), Some(3));
+    }
+
+    #[test]
+    fn simulate_is_deterministic_per_seed() {
+        let body = r#"{"cycles": 2000, "seed": 7}"#;
+        let a = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
+        let b = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn error_bodies_are_structured_json() {
+        let err = ApiError::bad_request("no such scheme `x`");
+        let body = json::parse(&err.to_body()).unwrap();
+        let error = body.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("bad_request"));
+        assert_eq!(
+            error.get("message").unwrap().as_str(),
+            Some("no such scheme `x`")
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! would — deleting a single allow pragma or reintroducing an `unwrap()`
 //! in a library crate breaks this test, not just the CI lint step.
 
-use mbus_lint::{lint_workspace, render_human};
+use mbus_lint::{lint_workspace, render_human, workspace_source_files};
 use std::path::Path;
 
 #[test]
@@ -10,7 +10,7 @@ fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = lint_workspace(root).expect("workspace sources must be readable");
     assert!(
-        report.files_scanned > 50,
+        report.files_scanned > 60,
         "suspiciously few files scanned ({}); did the walker lose the crates?",
         report.files_scanned
     );
@@ -24,5 +24,41 @@ fn workspace_is_lint_clean() {
     assert!(
         report.suppressed > 0,
         "expected at least one annotated allow in the workspace"
+    );
+}
+
+#[test]
+fn lint_walk_covers_the_server_crate() {
+    // The serving layer is user-reachable over the network, so the no-panic
+    // and lossy-cast gates must actually walk it: a violation there fails
+    // `workspace_is_lint_clean` above only if these files are in scope.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = workspace_source_files(root).expect("walker");
+    let server_files: Vec<&str> = files
+        .iter()
+        .filter(|(path, _)| path.starts_with("crates/server/src/"))
+        .map(|(path, _)| path.as_str())
+        .collect();
+    for module in [
+        "crates/server/src/http.rs",
+        "crates/server/src/json.rs",
+        "crates/server/src/server.rs",
+        "crates/server/src/service.rs",
+    ] {
+        assert!(
+            server_files.contains(&module),
+            "lint walk must cover {module}; saw {server_files:?}"
+        );
+    }
+    // And they are attributed to the `server` crate, which R2 targets.
+    assert!(
+        files
+            .iter()
+            .all(|(path, name)| !path.starts_with("crates/server/") || name == "server"),
+        "server sources must carry the crate name R2 keys on"
+    );
+    assert!(
+        mbus_lint::rules::LOSSY_CAST_CRATES.contains(&"server"),
+        "R2 must include the server crate"
     );
 }
