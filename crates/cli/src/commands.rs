@@ -253,6 +253,10 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         config = config.with_faults(parse_faults(spec, cycles + warmup)?);
     }
     let system = System::from_matrix(net, matrix, rate).map_err(|e| e.to_string())?;
+    let trace_path = args.get("trace");
+    if trace_path.is_some() && replications > 1 {
+        return Err("--trace records a single run; drop --replications".into());
+    }
 
     if replications > 1 {
         let report = system
@@ -262,7 +266,24 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         println!("bandwidth:     {}", report.bandwidth);
         println!("acceptance:    {:.4}", report.acceptance);
     } else {
-        let report = system.simulate(&config).map_err(|e| e.to_string())?;
+        let report = match trace_path {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                let sink = std::io::BufWriter::new(file);
+                let (report, sink) = system
+                    .simulate_traced(&config, sink)
+                    .map_err(|e| e.to_string())?;
+                use std::io::Write as _;
+                sink.into_inner()
+                    .map_err(|e| format!("--trace {path}: {e}"))?
+                    .flush()
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                println!("trace:         {path} ({} measured cycles)", report.cycles);
+                report
+            }
+            None => system.simulate(&config).map_err(|e| e.to_string())?,
+        };
         println!(
             "cycles:        {} (+{} warmup)",
             report.cycles, report.warmup

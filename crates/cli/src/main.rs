@@ -8,6 +8,7 @@ mod args;
 mod bench;
 mod commands;
 mod serve;
+mod trace_cmd;
 
 use args::Args;
 use std::process::ExitCode;
@@ -35,6 +36,14 @@ COMMANDS:
     simulate              simulate the same configuration: adds --cycles
                           --warmup --seed --replications --resubmission
                           [--fail bus@cycle|bus@start-end[,...]]
+                          [--trace FILE  record a binary per-cycle event
+                          trace for 'mbus trace' (single run only)]
+    trace <analyze|vcd>   post-sim analytics over a --trace recording:
+                          analyze FILE [--json|--markdown] prints per-bus
+                          utilization, backpressure, request-to-grant
+                          delay quantiles, and the bottleneck ranking;
+                          vcd FILE [--out FILE.vcd] exports a waveform
+                          dump for GTKWave-style viewers
     faults                degraded-mode fault campaign: evaluates analytical
                           bandwidth over C(B,f) bus-failure combos
                           (exhaustive or Monte-Carlo past --limit) for the
@@ -75,6 +84,8 @@ EXAMPLES:
     mbus table 2
     mbus analyze --scheme kclass --n 16 --b 8 --rate 0.5
     mbus simulate --scheme full --n 8 --b 4 --cycles 100000 --fail 2@50000
+    mbus simulate --scheme single --n 16 --b 4 --trace run.mbt
+    mbus trace analyze run.mbt --json
     mbus faults --scheme kclass --n 8 --b 4 --check
     mbus lint --json
     mbus render --scheme kclass --n 3 --m 6 --b 4 --classes 3
@@ -97,6 +108,7 @@ fn main() -> ExitCode {
         "validate" => commands::validate(&args),
         "lint" => commands::lint(&args),
         "experiments" => commands::experiments(),
+        "trace" => trace_cmd::trace(&args),
         "bench" => bench::bench(&args),
         "serve" => serve::serve(&args),
         "loadgen" => serve::loadgen_cmd(&args),

@@ -80,4 +80,5 @@ pub use mbus_exact as exact;
 pub use mbus_sim as sim;
 pub use mbus_stats as stats;
 pub use mbus_topology as topology;
+pub use mbus_trace as trace;
 pub use mbus_workload as workload;

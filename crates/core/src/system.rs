@@ -197,6 +197,22 @@ impl System {
         Ok(sim.run(config)?)
     }
 
+    /// Runs one simulation while streaming a binary event trace into
+    /// `sink` (see `mbus_trace`); returns the report and the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors, invalid fault schedules
+    /// in `config`, and trace-sink I/O failures.
+    pub fn simulate_traced<W: std::io::Write>(
+        &self,
+        config: &SimConfig,
+        sink: W,
+    ) -> Result<(SimReport, W), SystemError> {
+        let mut sim = Simulator::build(&self.network, &self.matrix, self.rate)?;
+        Ok(sim.run_traced(config, sink)?)
+    }
+
     /// Runs `replications` independent simulations in parallel.
     ///
     /// # Errors

@@ -11,8 +11,9 @@
 //!   no-panic guarantee for user-reachable paths.
 //! - **R2 `lossy_cast`** — no narrowing or sign-changing `as` casts in the
 //!   numeric crates (`mbus-sim`, `mbus-core`, `mbus-stats`,
-//!   `mbus-topology`) or the server's JSON number handling
-//!   (`mbus-server`); use `try_from` or an annotated allow.
+//!   `mbus-topology`), the server's JSON number handling
+//!   (`mbus-server`), or the trace codec (`mbus-trace`); use
+//!   `try_from` or an annotated allow.
 //! - **R3 `eq_doc`** — paper-formula functions in `mbus-analysis` /
 //!   `mbus-exact` must cite their equation number (`eq (N)`) in docs.
 //! - **R4 `invariant_wiring`** — public bandwidth/probability functions in

@@ -3,7 +3,7 @@
 //! | id | name | scope |
 //! |----|------|-------|
 //! | R1 | `no_panic` | every workspace crate, non-test code |
-//! | R2 | `lossy_cast` | `mbus-sim`, `mbus-core`, `mbus-stats`, `mbus-topology`, `mbus-server` |
+//! | R2 | `lossy_cast` | `mbus-sim`, `mbus-core`, `mbus-stats`, `mbus-topology`, `mbus-server`, `mbus-trace` |
 //! | R3 | `eq_doc` | `mbus-analysis`, `mbus-exact` |
 //! | R4 | `invariant_wiring` | the seven formula modules |
 //! | —  | `allow_hygiene` | pragmas and the `lint.allow` file themselves |
@@ -92,9 +92,10 @@ pub fn check_file(crate_name: &str, rel_path: &str, file: &CleanFile) -> Vec<Vio
     out
 }
 
-/// Crates R2 applies to (the numeric/hot-loop layers, and the server's
-/// JSON number handling — narrowing a payload value silently corrupts it).
-pub const LOSSY_CAST_CRATES: [&str; 5] = ["sim", "core", "stats", "topology", "server"];
+/// Crates R2 applies to (the numeric/hot-loop layers, the server's JSON
+/// number handling, and the trace codec — narrowing a varint or payload
+/// value silently corrupts it).
+pub const LOSSY_CAST_CRATES: [&str; 6] = ["sim", "core", "stats", "topology", "server", "trace"];
 
 /// Crates R3 applies to.
 pub const EQ_DOC_CRATES: [&str; 2] = ["analysis", "exact"];

@@ -14,6 +14,7 @@
 //! `BENCH_server.json`.
 
 use crate::json::{obj, Json};
+use crate::metrics::MAX_LATENCY_US;
 use crate::service::Endpoint;
 use mbus_stats::parallel::parallel_map;
 use mbus_stats::Histogram;
@@ -76,8 +77,13 @@ pub struct PassReport {
     pub cache_hits: usize,
     /// Wall-clock seconds for the pass.
     pub seconds: f64,
-    /// Latency distribution in microseconds.
+    /// Latency distribution in microseconds. Samples beyond
+    /// [`MAX_LATENCY_US`] are excluded (counted in
+    /// [`PassReport::latency_saturated`] instead), mirroring the server's
+    /// own metrics: a clamped sample must not masquerade as a quantile.
     pub latency_us: Histogram,
+    /// Responses whose latency saturated the one-second bound.
+    pub latency_saturated: usize,
 }
 
 impl PassReport {
@@ -100,21 +106,52 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Cold/warm mean-latency ratio: pass 0 over the best later pass.
-    /// `None` until two passes have answered requests.
+    /// Cold/warm mean-latency ratio: pass 0 over the *median* of all later
+    /// passes. `None` until two passes have answered requests.
+    ///
+    /// The median — not the best — warm pass: a single lucky warm pass
+    /// (scheduler tailwind, page-cache hit) would otherwise inflate the
+    /// reported speedup, and with one cold and one warm pass the old
+    /// one-over-one ratio was pure noise. With an even number of warm
+    /// passes the two middle means are averaged.
     pub fn cache_speedup(&self) -> Option<f64> {
         let cold = self.passes.first()?;
-        let warm = self
+        let mut warm: Vec<f64> = self
             .passes
             .get(1..)?
             .iter()
-            .min_by(|a, b| a.latency_us.mean().total_cmp(&b.latency_us.mean()))?;
-        let (c, w) = (cold.latency_us.mean(), warm.latency_us.mean());
-        if c > 0.0 && w > 0.0 {
-            Some(c / w)
+            .map(|p| p.latency_us.mean())
+            .filter(|mean| *mean > 0.0)
+            .collect();
+        if warm.is_empty() {
+            return None;
+        }
+        warm.sort_by(f64::total_cmp);
+        let mid = warm.len() / 2;
+        let median = if warm.len() % 2 == 1 {
+            warm[mid]
+        } else {
+            (warm[mid - 1] + warm[mid]) / 2.0
+        };
+        let c = cold.latency_us.mean();
+        if c > 0.0 {
+            Some(c / median)
         } else {
             None
         }
+    }
+
+    /// Passes counted as warm by [`LoadReport::cache_speedup`] (later
+    /// passes with at least one measured latency).
+    pub fn warm_passes(&self) -> usize {
+        self.passes
+            .get(1..)
+            .map(|rest| {
+                rest.iter()
+                    .filter(|p| p.latency_us.mean() > 0.0)
+                    .count()
+            })
+            .unwrap_or(0)
     }
 
     /// Total 5xx + transport failures across all passes (the "zero 5xx
@@ -151,11 +188,17 @@ impl LoadReport {
                     ("latency_us_p50", q(0.5)),
                     ("latency_us_p95", q(0.95)),
                     ("latency_us_p99", q(0.99)),
+                    ("latency_saturated", Json::Num(p.latency_saturated as f64)),
                 ])
             })
             .collect();
         obj(vec![
             ("passes", Json::Arr(passes)),
+            (
+                "cold_passes",
+                Json::Num(f64::from(u8::from(!self.passes.is_empty()))),
+            ),
+            ("warm_passes", Json::Num(self.warm_passes() as f64)),
             (
                 "cache_hit_speedup",
                 self.cache_speedup().map(Json::Num).unwrap_or(Json::Null),
@@ -270,6 +313,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
             cache_hits: 0,
             seconds,
             latency_us: Histogram::new(),
+            latency_saturated: 0,
         };
         for outcome in outcomes {
             match outcome {
@@ -286,10 +330,12 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
                     if cached {
                         report.cache_hits += 1;
                     }
-                    let us = u64::try_from(latency.as_micros())
-                        .unwrap_or(u64::MAX)
-                        .min(1_000_000);
-                    report.latency_us.record(us as usize);
+                    let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                    if us > MAX_LATENCY_US {
+                        report.latency_saturated += 1;
+                    } else {
+                        report.latency_us.record(us as usize);
+                    }
                 }
                 Outcome::Transport => report.transport_errors += 1,
             }
@@ -346,6 +392,7 @@ mod tests {
             cache_hits: 0,
             seconds,
             latency_us: h,
+            latency_saturated: 0,
         };
         let single = LoadReport {
             passes: vec![pass(h_cold.clone(), 1.0)],
@@ -356,8 +403,72 @@ mod tests {
         };
         assert!((both.cache_speedup().unwrap() - 10.0).abs() < 1e-9);
         assert_eq!(both.hard_failures(), 0);
+        assert_eq!(both.warm_passes(), 1);
         let rendered = both.to_json();
         assert!(crate::json::parse(&rendered).is_ok());
         assert!(rendered.contains("\"cache_hit_speedup\":10"));
+        assert!(rendered.contains("\"cold_passes\":1"));
+        assert!(rendered.contains("\"warm_passes\":1"));
+        assert!(rendered.contains("\"latency_saturated\":0"));
+    }
+
+    #[test]
+    fn speedup_uses_the_median_warm_pass() {
+        let sample = |us: usize| {
+            let mut h = Histogram::new();
+            h.record(us);
+            h
+        };
+        let pass = |h: Histogram| PassReport {
+            requests: 1,
+            ok: 1,
+            shed: 0,
+            errors: 0,
+            transport_errors: 0,
+            cache_hits: 0,
+            seconds: 1.0,
+            latency_us: h,
+            latency_saturated: 0,
+        };
+        // Warm means 100 / 200 / 400: the best pass would claim 10×, the
+        // median claims 5×.
+        let report = LoadReport {
+            passes: vec![
+                pass(sample(1000)),
+                pass(sample(400)),
+                pass(sample(100)),
+                pass(sample(200)),
+            ],
+        };
+        assert!((report.cache_speedup().unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(report.warm_passes(), 3);
+        // Even warm-pass count: middle two (100, 200) average to 150.
+        let report = LoadReport {
+            passes: vec![pass(sample(1500)), pass(sample(100)), pass(sample(200))],
+        };
+        assert!((report.cache_speedup().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_samples_stay_out_of_pass_quantiles() {
+        let mut h = Histogram::new();
+        h.record(500);
+        let report = LoadReport {
+            passes: vec![PassReport {
+                requests: 2,
+                ok: 2,
+                shed: 0,
+                errors: 0,
+                transport_errors: 0,
+                cache_hits: 0,
+                seconds: 2.0,
+                latency_us: h,
+                latency_saturated: 1,
+            }],
+        };
+        let rendered = report.to_json();
+        assert!(crate::json::parse(&rendered).is_ok());
+        assert!(rendered.contains("\"latency_saturated\":1"));
+        assert!(rendered.contains("\"latency_us_p99\":500"));
     }
 }

@@ -14,9 +14,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
-/// Latency samples are recorded in microseconds, clamped at one second so
-/// the dense histogram vector stays bounded.
-const MAX_LATENCY_US: u64 = 1_000_000;
+/// Latency samples are recorded in microseconds; samples beyond one second
+/// saturate. A saturated sample is *counted* (the
+/// `mbus_endpoint_latency_saturated_total` counter) but **excluded** from
+/// the histogram: folding it in at `MAX_LATENCY_US` would report the clamp
+/// value as a real quantile, silently under-reporting tail latency. The
+/// bound also keeps the dense histogram vector from growing unboundedly.
+pub(crate) const MAX_LATENCY_US: u64 = 1_000_000;
 
 /// Per-endpoint counters and latency distribution.
 #[derive(Debug, Default)]
@@ -24,6 +28,7 @@ struct EndpointMetrics {
     requests: AtomicU64,
     errors: AtomicU64,
     cache_hits: AtomicU64,
+    latency_saturated: AtomicU64,
     latency_us: Mutex<Histogram>,
 }
 
@@ -93,14 +98,16 @@ impl Metrics {
         if cache_hit {
             slot.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let us = u64::try_from(latency.as_micros())
-            .unwrap_or(u64::MAX)
-            .min(MAX_LATENCY_US);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        if us > MAX_LATENCY_US {
+            slot.latency_saturated.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut histogram = slot
             .latency_us
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        // Clamped to MAX_LATENCY_US above, which fits usize on every
+        // Bounded by MAX_LATENCY_US above, which fits usize on every
         // supported platform.
         histogram.record(us as usize);
     }
@@ -163,6 +170,11 @@ impl Metrics {
                 out,
                 "mbus_endpoint_cache_hits_total{{endpoint=\"{name}\"}} {}",
                 slot.cache_hits.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "mbus_endpoint_latency_saturated_total{{endpoint=\"{name}\"}} {}",
+                slot.latency_saturated.load(Ordering::Relaxed)
             );
             let histogram = slot
                 .latency_us
@@ -232,7 +244,7 @@ mod tests {
     }
 
     #[test]
-    fn latency_is_clamped_to_one_second() {
+    fn saturated_latencies_are_counted_not_quantiled() {
         let metrics = Metrics::new();
         metrics.record_response(
             Some(Endpoint::Simulate),
@@ -241,8 +253,38 @@ mod tests {
             Duration::from_secs(3600),
         );
         let text = metrics.render_text(&CacheStats::default());
+        // The saturated sample increments the counter …
+        assert!(text.contains("mbus_endpoint_latency_saturated_total{endpoint=\"simulate\"} 1"));
+        // … and stays out of the histogram, so no quantile line claims the
+        // clamp value was a real observation.
+        assert!(!text.contains("endpoint=\"simulate\",quantile="));
+
+        // A fast request after the outlier: quantiles reflect only it.
+        metrics.record_response(
+            Some(Endpoint::Simulate),
+            200,
+            false,
+            Duration::from_micros(120),
+        );
+        let text = metrics.render_text(&CacheStats::default());
+        assert!(text
+            .contains("mbus_endpoint_latency_us{endpoint=\"simulate\",quantile=\"0.99\"} 120"));
+        assert!(!text.contains(&MAX_LATENCY_US.to_string()));
+    }
+
+    #[test]
+    fn exact_one_second_latency_is_still_a_sample() {
+        let metrics = Metrics::new();
+        metrics.record_response(
+            Some(Endpoint::Exact),
+            200,
+            false,
+            Duration::from_micros(MAX_LATENCY_US),
+        );
+        let text = metrics.render_text(&CacheStats::default());
+        assert!(text.contains("mbus_endpoint_latency_saturated_total{endpoint=\"exact\"} 0"));
         assert!(text.contains(&format!(
-            "mbus_endpoint_latency_us{{endpoint=\"simulate\",quantile=\"0.5\"}} {MAX_LATENCY_US}"
+            "mbus_endpoint_latency_us{{endpoint=\"exact\",quantile=\"0.5\"}} {MAX_LATENCY_US}"
         )));
     }
 }

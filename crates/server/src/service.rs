@@ -19,9 +19,9 @@
 //! and a human-readable message. Nothing in this module panics.
 //!
 //! Successful parses yield a [`Query`] whose [`Query::key`] is a stable
-//! hash key (workload fingerprint, canonical network rendering, rate bits,
-//! and endpoint extras) used by the server's [`MemoCache`] to memoize the
-//! rendered result.
+//! hash key (workload fingerprint, explicit network field encoding, rate
+//! bits, and endpoint extras) used by the server's [`MemoCache`] to memoize
+//! the rendered result.
 //!
 //! [`MemoCache`]: mbus_stats::cache::MemoCache
 
@@ -184,6 +184,10 @@ pub struct SimParams {
     pub seed: u64,
     /// Whether blocked requests are resubmitted instead of dropped.
     pub resubmission: bool,
+    /// Whether to capture a trace during the run and attach summary
+    /// analytics (per-bus pressure, bottleneck ranking, wait quantiles)
+    /// to the response.
+    pub trace_summary: bool,
 }
 
 /// A validated, evaluatable query.
@@ -196,15 +200,70 @@ pub struct Query {
     failed_buses: Vec<usize>,
 }
 
-/// Stable cache key: endpoint + canonical network rendering + workload
+/// Stable cache key: endpoint + explicit network field encoding + workload
 /// fingerprint + rate bits + endpoint-specific extras.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     endpoint: u8,
-    network: String,
+    network: Vec<u64>,
     workload: WorkloadFingerprint,
     rate_bits: u64,
     extra: Vec<u64>,
+}
+
+/// Scheme tags for [`encode_network`]. Distinct from anything a length or
+/// dimension can collide with only because every variable-length section
+/// below is length-prefixed.
+const KEY_SCHEME_FULL: u64 = 0;
+const KEY_SCHEME_SINGLE: u64 = 1;
+const KEY_SCHEME_PARTIAL: u64 = 2;
+const KEY_SCHEME_KCLASS: u64 = 3;
+const KEY_SCHEME_CROSSBAR: u64 = 4;
+/// `ConnectionScheme` is `non_exhaustive`; a variant this crate does not
+/// know yet must still produce a *distinct* key rather than colliding with
+/// a known one.
+const KEY_SCHEME_UNKNOWN: u64 = u64::MAX;
+
+/// Encodes the identity of a network as explicit fields:
+/// `[n, m, b, scheme_tag, params…]`, where variable-length scheme params
+/// (single-assignment vector, class sizes) are length-prefixed.
+///
+/// The previous key used `format!("{:?}", network)`, which dragged every
+/// derived field (class offsets, adjacency scratch) into the key, changed
+/// whenever a `Debug` derive did, and allocated a long string per request.
+/// This encoding depends only on the fields that define the topology.
+fn encode_network(net: &mbus_core::topology::BusNetwork) -> Vec<u64> {
+    let mut key = vec![
+        net.processors() as u64,
+        net.memories() as u64,
+        net.buses() as u64,
+    ];
+    match net.scheme() {
+        ConnectionScheme::Full => key.push(KEY_SCHEME_FULL),
+        ConnectionScheme::Single { assignment } => {
+            key.push(KEY_SCHEME_SINGLE);
+            key.push(assignment.len() as u64);
+            key.extend(assignment.iter().map(|&bus| bus as u64));
+        }
+        ConnectionScheme::PartialGroups { groups } => {
+            key.push(KEY_SCHEME_PARTIAL);
+            key.push(*groups as u64);
+        }
+        ConnectionScheme::KClasses { class_sizes } => {
+            key.push(KEY_SCHEME_KCLASS);
+            key.push(class_sizes.len() as u64);
+            key.extend(class_sizes.iter().map(|&size| size as u64));
+        }
+        ConnectionScheme::Crossbar => key.push(KEY_SCHEME_CROSSBAR),
+        // A future variant added upstream: refuse to alias a known tag.
+        // The kind discriminant keeps unknown variants distinct from each
+        // other as far as the type system can see.
+        other => {
+            key.push(KEY_SCHEME_UNKNOWN);
+            key.push(other.kind() as u64);
+        }
+    }
+    key
 }
 
 impl Query {
@@ -222,6 +281,7 @@ impl Query {
                 self.sim.warmup,
                 self.sim.seed,
                 u64::from(self.sim.resubmission),
+                u64::from(self.sim.trace_summary),
             ],
             Endpoint::Degraded => {
                 let mut buses: Vec<u64> = self
@@ -235,7 +295,7 @@ impl Query {
         };
         QueryKey {
             endpoint: self.endpoint.discriminant(),
-            network: format!("{:?}", self.system.network()),
+            network: encode_network(self.system.network()),
             workload: self.system.matrix().fingerprint(),
             rate_bits: self.rate.to_bits(),
             extra,
@@ -263,7 +323,7 @@ const COMMON_KEYS: [&str; 10] = [
     "n", "m", "b", "rate", "scheme", "groups", "classes", "workload", "clusters", "alpha",
 ];
 /// Extra keys accepted by `/v1/simulate`.
-const SIM_KEYS: [&str; 4] = ["cycles", "warmup", "seed", "resubmission"];
+const SIM_KEYS: [&str; 5] = ["cycles", "warmup", "seed", "resubmission", "trace_summary"];
 /// Extra key accepted by `/v1/degraded`.
 const DEGRADED_KEYS: [&str; 1] = ["failed_buses"];
 
@@ -435,6 +495,7 @@ pub fn parse_query(
             warmup,
             seed: field_u64(body, "seed", 0)?,
             resubmission: field_bool(body, "resubmission", false)?,
+            trace_summary: field_bool(body, "trace_summary", false)?,
         }
     } else {
         SimParams {
@@ -442,6 +503,7 @@ pub fn parse_query(
             warmup: 0,
             seed: 0,
             resubmission: false,
+            trace_summary: false,
         }
     };
 
@@ -477,6 +539,51 @@ pub fn parse_query(
         sim,
         failed_buses,
     })
+}
+
+/// Renders the opt-in `trace` response field for `/v1/simulate` with
+/// `"trace_summary": true`: per-bus pressure scores, the bottleneck
+/// ranking, backpressure totals, and request-to-grant delay quantiles from
+/// the run's trace analysis.
+fn trace_summary_json(analysis: &mbus_core::trace::TraceAnalysis) -> Json {
+    let per_bus: Vec<Json> = analysis
+        .buses
+        .iter()
+        .enumerate()
+        .map(|(bus, stats)| {
+            obj(vec![
+                ("bus", Json::Num(bus as f64)),
+                ("busy_cycles", Json::Num(stats.busy_cycles as f64)),
+                ("alive_cycles", Json::Num(stats.alive_cycles as f64)),
+                ("utilization", Json::Num(stats.utilization)),
+                ("blocked_share", Json::Num(stats.blocked_share)),
+                ("pressure", Json::Num(stats.pressure)),
+            ])
+        })
+        .collect();
+    let bottlenecks: Vec<Json> = analysis
+        .bottlenecks
+        .iter()
+        .map(|&bus| Json::Num(bus as f64))
+        .collect();
+    let wait_q = |q: f64| {
+        analysis
+            .wait_histogram
+            .quantile(q)
+            .map(|v| Json::Num(v as f64))
+            .unwrap_or(Json::Null)
+    };
+    obj(vec![
+        ("served", Json::Num(analysis.served as f64)),
+        ("blocked", Json::Num(analysis.blocked_total as f64)),
+        ("unreachable", Json::Num(analysis.unreachable as f64)),
+        ("wait_mean", Json::Num(analysis.wait_histogram.mean())),
+        ("wait_p50", wait_q(0.5)),
+        ("wait_p95", wait_q(0.95)),
+        ("wait_p99", wait_q(0.99)),
+        ("per_bus", Json::Arr(per_bus)),
+        ("bottlenecks", Json::Arr(bottlenecks)),
+    ])
 }
 
 /// Evaluates a parsed query against the engines, returning the result
@@ -526,11 +633,24 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
                 .with_warmup(query.sim.warmup)
                 .with_seed(query.sim.seed)
                 .with_resubmission(query.sim.resubmission);
-            let report = query
-                .system
-                .simulate(&config)
-                .map_err(|e| ApiError::unsupported(e.to_string()))?;
-            Ok(obj(vec![
+            let (report, trace) = if query.sim.trace_summary {
+                let (report, bytes) = query
+                    .system
+                    .simulate_traced(&config, Vec::new())
+                    .map_err(|e| ApiError::unsupported(e.to_string()))?;
+                let mut reader = mbus_core::trace::TraceReader::new(bytes.as_slice())
+                    .map_err(|e| ApiError::unsupported(e.to_string()))?;
+                let analysis = mbus_core::trace::analyze(&mut reader)
+                    .map_err(|e| ApiError::unsupported(e.to_string()))?;
+                (report, Some(trace_summary_json(&analysis)))
+            } else {
+                let report = query
+                    .system
+                    .simulate(&config)
+                    .map_err(|e| ApiError::unsupported(e.to_string()))?;
+                (report, None)
+            };
+            let mut fields = vec![
                 ("bandwidth_mean", Json::Num(report.bandwidth.mean())),
                 (
                     "bandwidth_half_width",
@@ -547,7 +667,11 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
                 ("seed", Json::Num(query.sim.seed as f64)),
                 ("resubmission", Json::Bool(query.sim.resubmission)),
                 ("bus_utilization", json::num_array(&report.bus_utilization)),
-            ]))
+            ];
+            if let Some(trace) = trace {
+                fields.push(("trace", trace));
+            }
+            Ok(obj(fields))
         }
         Endpoint::Degraded => {
             let net = query.system.network();
@@ -663,6 +787,69 @@ mod tests {
     }
 
     #[test]
+    fn cache_keys_encode_network_fields_explicitly() {
+        // Stability: re-parsing the identical body always yields the same
+        // key (the key is a pure function of the query's fields).
+        let body = r#"{"n": 8, "m": 8, "b": 4, "scheme": "kclass", "classes": 4}"#;
+        let a = parse(Endpoint::Bandwidth, body).unwrap().key();
+        let b = parse(Endpoint::Bandwidth, body).unwrap().key();
+        assert_eq!(a, b, "key must be stable across parses");
+
+        // Every defining network field must separate the key's network
+        // component (uniform workload so n ≠ m parses).
+        let net = |body: &str| parse(Endpoint::Bandwidth, body).unwrap().key().network;
+        let base = net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 4}"#);
+        assert_ne!(base, net(r#"{"workload": "uniform", "n": 16, "m": 8, "b": 4}"#), "n");
+        assert_ne!(base, net(r#"{"workload": "uniform", "n": 8, "m": 16, "b": 4}"#), "m");
+        assert_ne!(base, net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 2}"#), "b");
+        assert_ne!(
+            base,
+            net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 4, "scheme": "crossbar"}"#),
+            "scheme discriminant"
+        );
+        assert_ne!(
+            net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 4, "scheme": "partial", "groups": 2}"#),
+            net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 4, "scheme": "partial", "groups": 4}"#),
+            "scheme params"
+        );
+        assert_ne!(
+            net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 4, "scheme": "single"}"#),
+            net(r#"{"workload": "uniform", "n": 8, "m": 8, "b": 4, "scheme": "kclass", "classes": 4}"#),
+            "different schemes with same dimensions"
+        );
+    }
+
+    #[test]
+    fn network_encoding_has_no_cross_scheme_collisions() {
+        use mbus_core::topology::BusNetwork;
+        // Same dimensions under every scheme, plus param variations: all
+        // encodings must be pairwise distinct. In particular the
+        // length-prefixed sections keep a single-assignment vector from
+        // aliasing a class-size vector with equal entries.
+        let nets = vec![
+            BusNetwork::new(8, 8, 4, ConnectionScheme::Full).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::balanced_single(8, 4).unwrap()).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::strided_single(8, 4).unwrap()).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::PartialGroups { groups: 2 }).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::PartialGroups { groups: 4 }).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::uniform_classes(8, 4).unwrap()).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::uniform_classes(8, 2).unwrap()).unwrap(),
+            BusNetwork::new(8, 8, 4, ConnectionScheme::Crossbar).unwrap(),
+            BusNetwork::new(8, 8, 2, ConnectionScheme::Full).unwrap(),
+        ];
+        let encodings: Vec<Vec<u64>> = nets.iter().map(encode_network).collect();
+        for (i, a) in encodings.iter().enumerate() {
+            for (j, b) in encodings.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "networks {i} and {j} collide: {a:?}");
+                }
+            }
+        }
+        // The encoding leads with the dimensions, in order.
+        assert_eq!(&encodings[0][..3], &[8, 8, 4]);
+    }
+
+    #[test]
     fn degraded_matches_direct_library_call() {
         use mbus_core::prelude::*;
         let query = parse(Endpoint::Degraded, r#"{"failed_buses": [0]}"#).unwrap();
@@ -684,6 +871,56 @@ mod tests {
         let a = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
         let b = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn trace_summary_is_opt_in_and_reconciles() {
+        let plain = evaluate(&parse(Endpoint::Simulate, r#"{"cycles": 2000, "seed": 9}"#).unwrap())
+            .unwrap();
+        assert!(plain.get("trace").is_none(), "trace is opt-in");
+
+        let body = r#"{"cycles": 2000, "seed": 9, "scheme": "single", "trace_summary": true}"#;
+        let traced = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
+        let trace = traced.get("trace").expect("trace field attached");
+        let bottlenecks = match trace.get("bottlenecks").unwrap() {
+            Json::Arr(items) => items.len(),
+            other => panic!("bottlenecks not an array: {other:?}"),
+        };
+        assert_eq!(bottlenecks, 4, "every bus is ranked");
+        // The summary's per-bus utilization is the report's, verbatim.
+        let report_util = match traced.get("bus_utilization").unwrap() {
+            Json::Arr(items) => items.clone(),
+            other => panic!("bus_utilization not an array: {other:?}"),
+        };
+        let per_bus = match trace.get("per_bus").unwrap() {
+            Json::Arr(items) => items.clone(),
+            other => panic!("per_bus not an array: {other:?}"),
+        };
+        assert_eq!(per_bus.len(), report_util.len());
+        for (entry, util) in per_bus.iter().zip(&report_util) {
+            assert_eq!(
+                entry.get("utilization").unwrap().as_f64(),
+                util.as_f64(),
+                "trace utilization reconciles with the report"
+            );
+        }
+        // Tracing must not perturb the simulation itself.
+        let plain_same_seed =
+            evaluate(&parse(Endpoint::Simulate, r#"{"cycles": 2000, "seed": 9, "scheme": "single"}"#).unwrap())
+                .unwrap();
+        assert_eq!(
+            plain_same_seed.get("bandwidth_mean").unwrap().as_f64(),
+            traced.get("bandwidth_mean").unwrap().as_f64(),
+        );
+        // And the cache must key the two variants apart.
+        let k_plain = parse(
+            Endpoint::Simulate,
+            r#"{"cycles": 2000, "seed": 9, "scheme": "single"}"#,
+        )
+        .unwrap()
+        .key();
+        let k_traced = parse(Endpoint::Simulate, body).unwrap().key();
+        assert_ne!(k_plain, k_traced, "trace_summary is part of the key");
     }
 
     #[test]

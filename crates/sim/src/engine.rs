@@ -4,6 +4,7 @@ use crate::arbiter::{grant_buses, Stage2State};
 use crate::metrics::Collector;
 use crate::{SimConfig, SimError, SimReport};
 use mbus_topology::{BusNetwork, FaultMask, SchemeKind};
+use mbus_trace::writer::{TraceGrant, TraceWriter};
 use mbus_workload::{RequestMatrix, WorkloadSampler};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -466,6 +467,49 @@ impl Simulator {
     /// — fault schedules come from user input (`--faults`), so an invalid
     /// one must not abort the process.
     pub fn run(&mut self, config: &SimConfig) -> Result<SimReport, SimError> {
+        // The `None` observer compiles the trace hook down to a dead
+        // branch: the golden tests pin this path bit-identical to the
+        // pre-trace engine.
+        self.run_impl(config, None::<&mut TraceWriter<std::io::Sink>>)
+    }
+
+    /// Runs like [`Simulator::run`] while streaming one binary trace
+    /// record per *measured* cycle into `sink` (the `MBT1` format of
+    /// `mbus-trace`). Returns the report together with the finished sink.
+    ///
+    /// The trace hook observes each cycle strictly *after* the engine has
+    /// stepped, so a traced run consumes the RNG identically to an
+    /// untraced one — same seed, same `SimReport`, bit for bit (the
+    /// `trace_reconcile` differential suite enforces this).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulator::run`] returns, plus [`SimError::TraceIo`]
+    /// when writing `sink` failed at any point during the run.
+    pub fn run_traced<W: std::io::Write>(
+        &mut self,
+        config: &SimConfig,
+        sink: W,
+    ) -> Result<(SimReport, W), SimError> {
+        let mut writer = TraceWriter::new(sink, &self.net, config.resubmission);
+        let report = self.run_impl(config, Some(&mut writer))?;
+        let sink = writer.finish().map_err(|err| SimError::TraceIo {
+            message: err.to_string(),
+        })?;
+        Ok((report, sink))
+    }
+
+    /// The shared run loop behind [`Simulator::run`] and
+    /// [`Simulator::run_traced`]. The optional trace writer is consulted
+    /// once per measured cycle, after [`Simulator::step`] — it reads the
+    /// cycle outcome plus the engine's post-arbitration scratch state
+    /// (fault mask, per-memory requester lists) and never touches the RNG
+    /// or any buffer the hot loop writes.
+    fn run_impl<W: std::io::Write>(
+        &mut self,
+        config: &SimConfig,
+        mut trace: Option<&mut TraceWriter<W>>,
+    ) -> Result<SimReport, SimError> {
         config.faults.validate(self.net.buses())?;
         self.reset(config.seed);
         self.set_resubmission(config.resubmission);
@@ -490,9 +534,35 @@ impl Simulator {
             if measured {
                 collector.record_alive(&self.mask);
             }
-            let outcome = self.step();
+            // Dropping `step`'s returned reference releases its `&mut self`
+            // borrow; the outcome lives in the simulator-owned cycle buffer,
+            // which the collector and trace hook read alongside the fault
+            // mask and requester lists.
+            self.step();
             if measured {
+                let outcome = &self.outcome;
                 collector.record(outcome);
+                if let Some(writer) = trace.as_deref_mut() {
+                    writer.record_cycle(
+                        outcome.issued as u64,
+                        outcome.active as u64,
+                        outcome.unreachable as u64,
+                        self.mask.iter_failed(),
+                        self.requesters
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, list)| !list.is_empty())
+                            .map(|(memory, list)| (memory, list.len() as u64)),
+                        outcome.grants.iter().zip(&outcome.waits).map(
+                            |(grant, &wait)| TraceGrant {
+                                bus: grant.bus,
+                                memory: grant.memory,
+                                processor: grant.processor,
+                                wait,
+                            },
+                        ),
+                    );
+                }
             }
         }
         Ok(collector.finish(config))

@@ -27,6 +27,13 @@ pub enum SimError {
     Topology(TopologyError),
     /// Zero simulated cycles were requested.
     NoCycles,
+    /// Writing the binary trace sink failed (disk full, closed pipe, …).
+    /// Surfaced once at the end of a traced run — see
+    /// `mbus_trace::writer::TraceWriter`'s deferred-error contract.
+    TraceIo {
+        /// The underlying I/O error's message.
+        message: String,
+    },
     /// A replication worker thread panicked; the panic payload (when it was
     /// a string) is preserved instead of aborting the whole process.
     ReplicationPanicked {
@@ -52,6 +59,7 @@ impl std::fmt::Display for SimError {
             Self::Workload(err) => write!(f, "workload error: {err}"),
             Self::Topology(err) => write!(f, "topology error: {err}"),
             Self::NoCycles => write!(f, "simulation must run at least one measured cycle"),
+            Self::TraceIo { message } => write!(f, "trace sink error: {message}"),
             Self::ReplicationPanicked {
                 replication,
                 message,

@@ -1,0 +1,380 @@
+//! The streaming trace analyzer: one bounded-memory pass over a trace
+//! computing per-bus utilization, queue backpressure, request-to-grant
+//! delay histograms, and a bottleneck ranking.
+
+use crate::format::TraceHeader;
+use crate::reader::{CycleRecord, TraceReader};
+use crate::TraceError;
+use mbus_stats::Histogram;
+use mbus_topology::SchemeKind;
+use std::io::Read;
+
+/// Per-bus counters and derived scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusStats {
+    /// Measured cycles this bus carried a grant.
+    pub busy_cycles: u64,
+    /// Measured cycles this bus was in service (not failed). Defined
+    /// identically to `SimReport::bus_alive_cycles`.
+    pub alive_cycles: u64,
+    /// `busy_cycles / alive_cycles` (0.0 when never alive) — computed with
+    /// the same expression as `SimReport::bus_utilization`, so the two are
+    /// bitwise equal for the same run.
+    pub utilization: f64,
+    /// Blocked requests attributed to this bus: each memory's blocked
+    /// count, split evenly over the buses wired to that memory (static
+    /// topology). Contention a bus *caused* shows up here even on cycles
+    /// the bus itself was busy.
+    pub blocked_share: f64,
+    /// Bottleneck pressure: `(busy_cycles + blocked_share) /
+    /// alive_cycles`, 0.0 when never alive. Utilization alone saturates at
+    /// 1.0; pressure keeps growing with the queue the bus leaves unserved,
+    /// which is what separates "fully used" from "overloaded".
+    pub pressure: f64,
+}
+
+/// Per-memory counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Requests queued at this memory over the run (post unreachable
+    /// filtering; resubmitted requests count every cycle they queue).
+    pub requested: u64,
+    /// Requests served at this memory.
+    pub served: u64,
+    /// `requested - served`: cycle-requests that queued but were not
+    /// granted (the backpressure the memory's buses left behind).
+    pub blocked: u64,
+}
+
+/// Everything a single pass over a trace yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// The trace header (dimensions, scheme, flags).
+    pub header: TraceHeader,
+    /// Measured cycles in the trace.
+    pub cycles: u64,
+    /// Total requests newly issued.
+    pub issued: u64,
+    /// Total requesting processor-cycles (new + resubmitted).
+    pub active: u64,
+    /// Total requests dropped as unreachable.
+    pub unreachable: u64,
+    /// Total grants (= served requests).
+    pub served: u64,
+    /// Per-bus counters and scores.
+    pub buses: Vec<BusStats>,
+    /// Per-memory counters.
+    pub memories: Vec<MemoryStats>,
+    /// Per-processor served counts.
+    pub processor_served: Vec<u64>,
+    /// Histogram of request-to-grant delays (one sample per grant; 0 =
+    /// served on the issue cycle).
+    pub wait_histogram: Histogram,
+    /// Sum of all grant waits — total cycle-delays absorbed by served
+    /// requests. Under resubmission this equals the number of
+    /// blocked-then-served cycle-requests.
+    pub waits_total: u64,
+    /// Histogram of blocked requests per cycle
+    /// (`active − unreachable − grants`).
+    pub blocked_histogram: Histogram,
+    /// Total blocked cycle-requests, summed over memories.
+    pub blocked_total: u64,
+    /// Bus indices ranked by descending [`BusStats::pressure`] (ties break
+    /// toward the lower index). Empty for the crossbar, which has no
+    /// shared buses to rank.
+    pub bottlenecks: Vec<usize>,
+}
+
+impl TraceAnalysis {
+    /// The per-bus utilization vector, in `SimReport::bus_utilization`
+    /// layout (bitwise-equal values for the same run).
+    pub fn bus_utilization(&self) -> Vec<f64> {
+        self.buses.iter().map(|b| b.utilization).collect()
+    }
+
+    /// The per-bus alive-cycle vector, mirroring
+    /// `SimReport::bus_alive_cycles`.
+    pub fn bus_alive_cycles(&self) -> Vec<u64> {
+        self.buses.iter().map(|b| b.alive_cycles).collect()
+    }
+}
+
+/// Consumes `reader` and aggregates a [`TraceAnalysis`].
+///
+/// Single pass, memory bounded by the network dimensions (plus the two
+/// histograms, bounded by the largest observed value).
+///
+/// # Errors
+///
+/// Propagates every [`TraceError`] the reader can produce, plus
+/// [`TraceError::Topology`] when the header's network cannot be rebuilt
+/// (needed for the memory→bus wiring the bottleneck ranking uses).
+pub fn analyze<R: Read>(reader: &mut TraceReader<R>) -> Result<TraceAnalysis, TraceError> {
+    let header = reader.header().clone();
+    let net = header.network()?;
+    let b = header.buses;
+    let m = header.memories;
+
+    let mut cycles = 0u64;
+    let mut issued = 0u64;
+    let mut active = 0u64;
+    let mut unreachable = 0u64;
+    let mut served = 0u64;
+    let mut bus_busy = vec![0u64; b];
+    let mut bus_failed = vec![0u64; b];
+    let mut mem_requested = vec![0u64; m];
+    let mut mem_served = vec![0u64; m];
+    let mut proc_served = vec![0u64; header.processors];
+    let mut wait_histogram = Histogram::new();
+    let mut waits_total = 0u64;
+    let mut blocked_histogram = Histogram::with_max_value(header.processors);
+    let mut record = CycleRecord::default();
+
+    while reader.next_cycle(&mut record)? {
+        cycles += 1;
+        issued += record.issued;
+        active += record.active;
+        unreachable += record.unreachable;
+        for &bus in &record.failed_buses {
+            bus_failed[bus] += 1;
+        }
+        for &(memory, count) in &record.requested {
+            mem_requested[memory] += count;
+        }
+        for grant in &record.grants {
+            if let Some(bus) = grant.bus {
+                bus_busy[bus] += 1;
+            }
+            mem_served[grant.memory] += 1;
+            proc_served[grant.processor] += 1;
+            let wait = usize::try_from(grant.wait).unwrap_or(usize::MAX);
+            wait_histogram.record(wait);
+            waits_total += grant.wait;
+        }
+        served += record.grants.len() as u64;
+        let granted = record.grants.len() as u64;
+        let blocked = record
+            .active
+            .saturating_sub(record.unreachable)
+            .saturating_sub(granted);
+        blocked_histogram.record(usize::try_from(blocked).unwrap_or(usize::MAX));
+    }
+
+    let memories: Vec<MemoryStats> = mem_requested
+        .iter()
+        .zip(&mem_served)
+        .map(|(&requested, &served)| MemoryStats {
+            requested,
+            served,
+            blocked: requested.saturating_sub(served),
+        })
+        .collect();
+    let blocked_total: u64 = memories.iter().map(|mem| mem.blocked).sum();
+
+    // Attribute each memory's blocked requests evenly over the buses wired
+    // to it (static topology: a bus failed for part of the run still owns
+    // its share — the queue was its to serve).
+    let mut blocked_share = vec![0.0f64; b];
+    if header.scheme.kind() != SchemeKind::Crossbar {
+        for (memory, stats) in memories.iter().enumerate() {
+            if stats.blocked == 0 {
+                continue;
+            }
+            let wired: Vec<usize> = net.buses_of_memory(memory).collect();
+            if wired.is_empty() {
+                continue;
+            }
+            let share = stats.blocked as f64 / wired.len() as f64;
+            for bus in wired {
+                blocked_share[bus] += share;
+            }
+        }
+    }
+
+    let buses: Vec<BusStats> = (0..b)
+        .map(|bus| {
+            let busy = bus_busy[bus];
+            let alive = cycles - bus_failed[bus];
+            // Same expression as the sim collector, for bitwise equality.
+            let utilization = if alive == 0 {
+                0.0
+            } else {
+                busy as f64 / alive as f64
+            };
+            let pressure = if alive == 0 {
+                0.0
+            } else {
+                (busy as f64 + blocked_share[bus]) / alive as f64
+            };
+            BusStats {
+                busy_cycles: busy,
+                alive_cycles: alive,
+                utilization,
+                blocked_share: blocked_share[bus],
+                pressure,
+            }
+        })
+        .collect();
+
+    let mut bottlenecks: Vec<usize> = if header.scheme.kind() == SchemeKind::Crossbar {
+        Vec::new()
+    } else {
+        (0..b).collect()
+    };
+    bottlenecks.sort_by(|&x, &y| {
+        buses[y]
+            .pressure
+            .partial_cmp(&buses[x].pressure)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.cmp(&y))
+    });
+
+    Ok(TraceAnalysis {
+        header,
+        cycles,
+        issued,
+        active,
+        unreachable,
+        served,
+        buses,
+        memories,
+        processor_served: proc_served,
+        wait_histogram,
+        waits_total,
+        blocked_histogram,
+        blocked_total,
+        bottlenecks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{TraceGrant, TraceWriter};
+    use mbus_topology::{BusNetwork, ConnectionScheme};
+
+    /// Hand-built two-bus single-connection trace: memories {0,1} on bus 0,
+    /// {2,3} on bus 1. All contention lands on bus 0.
+    fn contended_trace() -> Vec<u8> {
+        let scheme = ConnectionScheme::balanced_single(4, 2).unwrap();
+        let net = BusNetwork::new(4, 4, 2, scheme).unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &net, false);
+        for _ in 0..10 {
+            // Four requesters at memory 0, one at memory 2; one grant each.
+            writer.record_cycle(
+                5,
+                5,
+                0,
+                [],
+                [(0, 4), (2, 1)],
+                [
+                    TraceGrant {
+                        bus: Some(0),
+                        memory: 0,
+                        processor: 0,
+                        wait: 0,
+                    },
+                    TraceGrant {
+                        bus: Some(1),
+                        memory: 2,
+                        processor: 3,
+                        wait: 0,
+                    },
+                ],
+            );
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn ranks_the_contended_bus_first() {
+        let bytes = contended_trace();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let analysis = analyze(&mut reader).unwrap();
+        assert_eq!(analysis.cycles, 10);
+        assert_eq!(analysis.served, 20);
+        assert_eq!(analysis.blocked_total, 30, "3 of 4 at memory 0, 10 cycles");
+        // Both buses fully utilized — utilization cannot separate them.
+        assert_eq!(analysis.buses[0].utilization, 1.0);
+        assert_eq!(analysis.buses[1].utilization, 1.0);
+        // Pressure can: bus 0 owns 30 blocked requests.
+        assert!(analysis.buses[0].pressure > analysis.buses[1].pressure);
+        assert_eq!(analysis.bottlenecks, vec![0, 1]);
+        assert_eq!(analysis.memories[0].blocked, 30);
+        assert_eq!(analysis.memories[2].blocked, 0);
+    }
+
+    #[test]
+    fn crossbar_traces_rank_nothing() {
+        let net = BusNetwork::new(2, 2, 1, ConnectionScheme::Crossbar).unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &net, false);
+        writer.record_cycle(
+            2,
+            2,
+            0,
+            [],
+            [(0, 1), (1, 1)],
+            [
+                TraceGrant {
+                    bus: None,
+                    memory: 0,
+                    processor: 0,
+                    wait: 0,
+                },
+                TraceGrant {
+                    bus: None,
+                    memory: 1,
+                    processor: 1,
+                    wait: 0,
+                },
+            ],
+        );
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let analysis = analyze(&mut reader).unwrap();
+        assert!(analysis.bottlenecks.is_empty());
+        assert_eq!(analysis.served, 2);
+        assert_eq!(analysis.blocked_total, 0);
+    }
+
+    #[test]
+    fn failed_cycles_reduce_alive_counts() {
+        let net = BusNetwork::new(2, 2, 2, ConnectionScheme::Full).unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &net, false);
+        writer.record_cycle(0, 0, 0, [1], [], []);
+        writer.record_cycle(0, 0, 0, [], [], []);
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let analysis = analyze(&mut reader).unwrap();
+        assert_eq!(analysis.bus_alive_cycles(), vec![2, 1]);
+        assert_eq!(analysis.bus_utilization(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn wait_histogram_sums_delays() {
+        let net = BusNetwork::new(2, 2, 1, ConnectionScheme::Full).unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &net, true);
+        for wait in [0u64, 1, 1, 3] {
+            writer.record_cycle(
+                1,
+                1,
+                0,
+                [],
+                [(0, 1)],
+                [TraceGrant {
+                    bus: Some(0),
+                    memory: 0,
+                    processor: 0,
+                    wait,
+                }],
+            );
+        }
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let analysis = analyze(&mut reader).unwrap();
+        assert_eq!(analysis.wait_histogram.count(), 4);
+        assert_eq!(analysis.wait_histogram.frequency(1), 2);
+        assert_eq!(analysis.waits_total, 5);
+        assert!((analysis.wait_histogram.mean() - 1.25).abs() < 1e-12);
+    }
+}

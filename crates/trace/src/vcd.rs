@@ -1,0 +1,176 @@
+//! Value-change-dump (VCD) export: one timestep per simulated cycle, for
+//! inspection in standard waveform viewers (GTKWave and friends).
+//!
+//! Signals, all under module `mbus`:
+//!
+//! * `busN` (wire, 1 bit) — bus `N` carried a grant this cycle;
+//! * `aliveN` (wire, 1 bit) — bus `N` was in service this cycle;
+//! * `grants` / `blocked` / `unreachable` (32-bit vectors) — per-cycle
+//!   counts.
+//!
+//! Values are emitted only on change, so an idle stretch costs nothing.
+
+use crate::reader::{CycleRecord, TraceReader};
+use crate::TraceError;
+use std::io::{Read, Write};
+
+/// Printable-ASCII identifier codes, per the VCD grammar (`!` … `~`).
+fn id_code(index: usize) -> String {
+    let mut index = index;
+    let mut code = String::new();
+    loop {
+        let digit = index % 94;
+        // lint:allow(lossy_cast, digit < 94 by the modulo on the line above)
+        code.push(char::from(33 + digit as u8));
+        index /= 94;
+        if index == 0 {
+            return code;
+        }
+        index -= 1;
+    }
+}
+
+/// Streams `reader` to `out` as a VCD document (timescale: 1 cycle = 1 ns).
+///
+/// # Errors
+///
+/// Propagates trace decoding errors and sink I/O errors.
+pub fn export_vcd<R: Read, W: Write>(
+    reader: &mut TraceReader<R>,
+    out: &mut W,
+) -> Result<(), TraceError> {
+    let header = reader.header().clone();
+    let b = header.buses;
+    // Identifier layout: busy 0..b, alive b..2b, then the three counters.
+    let busy_id = |bus: usize| id_code(bus);
+    let alive_id = |bus: usize| id_code(b + bus);
+    let grants_id = id_code(2 * b);
+    let blocked_id = id_code(2 * b + 1);
+    let unreachable_id = id_code(2 * b + 2);
+
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "$comment multibus trace: {} N={} M={} B={} $end\n",
+        header.scheme.kind(),
+        header.processors,
+        header.memories,
+        header.buses,
+    ));
+    doc.push_str("$timescale 1ns $end\n$scope module mbus $end\n");
+    for bus in 0..b {
+        doc.push_str(&format!("$var wire 1 {} bus{bus} $end\n", busy_id(bus)));
+        doc.push_str(&format!("$var wire 1 {} alive{bus} $end\n", alive_id(bus)));
+    }
+    doc.push_str(&format!("$var wire 32 {grants_id} grants $end\n"));
+    doc.push_str(&format!("$var wire 32 {blocked_id} blocked $end\n"));
+    doc.push_str(&format!("$var wire 32 {unreachable_id} unreachable $end\n"));
+    doc.push_str("$upscope $end\n$enddefinitions $end\n");
+    out.write_all(doc.as_bytes())?;
+
+    // Previous values, so only changes are emitted. Start from impossible
+    // sentinels so cycle 0 dumps every signal once.
+    let mut prev_busy = vec![2u8; b];
+    let mut prev_alive = vec![2u8; b];
+    let mut prev_counts = [u64::MAX; 3];
+    let mut busy = vec![0u8; b];
+    let mut record = CycleRecord::default();
+    let mut cycle = 0u64;
+    let mut line = String::new();
+    while reader.next_cycle(&mut record)? {
+        busy.iter_mut().for_each(|v| *v = 0);
+        for grant in &record.grants {
+            if let Some(bus) = grant.bus {
+                busy[bus] = 1;
+            }
+        }
+        let blocked = record
+            .active
+            .saturating_sub(record.unreachable)
+            .saturating_sub(record.grants.len() as u64);
+        let counts = [record.grants.len() as u64, blocked, record.unreachable];
+
+        line.clear();
+        line.push_str(&format!("#{cycle}\n"));
+        let before = line.len();
+        for bus in 0..b {
+            if busy[bus] != prev_busy[bus] {
+                line.push_str(&format!("{}{}\n", busy[bus], busy_id(bus)));
+                prev_busy[bus] = busy[bus];
+            }
+        }
+        for (bus, prev) in prev_alive.iter_mut().enumerate().take(b) {
+            let alive = u8::from(!record.failed_buses.contains(&bus));
+            if alive != *prev {
+                line.push_str(&format!("{alive}{}\n", alive_id(bus)));
+                *prev = alive;
+            }
+        }
+        for (slot, (value, id)) in prev_counts.iter_mut().zip([
+            (counts[0], &grants_id),
+            (counts[1], &blocked_id),
+            (counts[2], &unreachable_id),
+        ]) {
+            if *slot != value {
+                line.push_str(&format!("b{value:b} {id}\n"));
+                *slot = value;
+            }
+        }
+        if line.len() > before {
+            out.write_all(line.as_bytes())?;
+        }
+        cycle += 1;
+    }
+    out.write_all(format!("#{cycle}\n").as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{TraceGrant, TraceWriter};
+    use mbus_topology::{BusNetwork, ConnectionScheme};
+
+    #[test]
+    fn id_codes_are_printable_and_distinct() {
+        let codes: Vec<String> = (0..300).map(id_code).collect();
+        for code in &codes {
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)), "{code:?}");
+        }
+        let mut unique = codes.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len());
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn exports_change_only_waveforms() {
+        let net = BusNetwork::new(2, 2, 2, ConnectionScheme::Full).unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &net, false);
+        let grant = TraceGrant {
+            bus: Some(0),
+            memory: 0,
+            processor: 0,
+            wait: 0,
+        };
+        writer.record_cycle(1, 1, 0, [], [(0, 1)], [grant]);
+        writer.record_cycle(1, 1, 0, [], [(0, 1)], [grant]); // no change
+        writer.record_cycle(0, 0, 0, [1], [], []); // bus 0 idles, bus 1 dies
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut vcd = Vec::new();
+        export_vcd(&mut reader, &mut vcd).unwrap();
+        let text = String::from_utf8(vcd).unwrap();
+        assert!(text.contains("$var wire 1 ! bus0 $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        // Cycle 0 dumps everything; cycle 1 changes nothing; cycle 2 drops
+        // bus0 busy and bus1 alive.
+        assert!(text.contains("#0\n1!"));
+        assert!(!text.contains("#1\n1"), "unchanged cycle emits nothing");
+        assert!(text.contains("#2\n0!"));
+        let bus1_alive_drop = format!("0{}", id_code(2 + 1));
+        assert!(text.contains(&bus1_alive_drop));
+    }
+}

@@ -62,3 +62,37 @@ fn lint_walk_covers_the_server_crate() {
         "R2 must include the server crate"
     );
 }
+
+#[test]
+fn lint_walk_covers_the_trace_crate() {
+    // The trace codec narrows u64 payloads through varints; a lossy cast
+    // there silently corrupts recorded events, so R2 must walk it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = workspace_source_files(root).expect("walker");
+    let trace_files: Vec<&str> = files
+        .iter()
+        .filter(|(path, _)| path.starts_with("crates/trace/src/"))
+        .map(|(path, _)| path.as_str())
+        .collect();
+    for module in [
+        "crates/trace/src/format.rs",
+        "crates/trace/src/writer.rs",
+        "crates/trace/src/reader.rs",
+        "crates/trace/src/analyze.rs",
+    ] {
+        assert!(
+            trace_files.contains(&module),
+            "lint walk must cover {module}; saw {trace_files:?}"
+        );
+    }
+    assert!(
+        files
+            .iter()
+            .all(|(path, name)| !path.starts_with("crates/trace/") || name == "trace"),
+        "trace sources must carry the crate name R2 keys on"
+    );
+    assert!(
+        mbus_lint::rules::LOSSY_CAST_CRATES.contains(&"trace"),
+        "R2 must include the trace crate"
+    );
+}
