@@ -268,8 +268,8 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     } else {
         let report = match trace_path {
             Some(path) => {
-                let file = std::fs::File::create(path)
-                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                let file =
+                    std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
                 let sink = std::io::BufWriter::new(file);
                 let (report, sink) = system
                     .simulate_traced(&config, sink)
@@ -765,8 +765,9 @@ pub fn experiments() -> Result<(), String> {
 
 /// `mbus lint`: run the workspace static-analysis pass (`mbus-lint`).
 ///
-/// Prints every violation (`--json` for machine output) and fails with a
-/// non-zero exit status when the workspace is not clean.
+/// Prints every violation (`--json` for machine output, `--sarif` for CI
+/// code-scanning upload, `--unsafe-report` for the unsafe-code inventory)
+/// and fails with a non-zero exit status when the workspace is not clean.
 pub fn lint(args: &Args) -> Result<(), String> {
     let root = match args.get("root") {
         Some(path) => std::path::PathBuf::from(path),
@@ -779,7 +780,13 @@ pub fn lint(args: &Args) -> Result<(), String> {
             root.display()
         ));
     }
-    if args.flag("json") {
+    if args.flag("unsafe-report") {
+        print!("{}", mbus_lint::render_unsafe_report(&report));
+        return Ok(());
+    }
+    if args.flag("sarif") {
+        print!("{}", mbus_lint::render_sarif(&report));
+    } else if args.flag("json") {
         print!("{}", mbus_lint::render_json(&report));
     } else {
         print!("{}", mbus_lint::render_human(&report));

@@ -54,7 +54,10 @@ COMMANDS:
     validate              compare analysis vs exact vs simulation on a grid
     lint                  run the workspace static-analysis pass (R1 panic
                           paths, R2 lossy casts, R3 equation traceability,
-                          R4 invariant wiring); [--json] [--root path];
+                          R4 invariant wiring, R5 unsafe SAFETY comments,
+                          R6 lock discipline, R7 atomics ordering,
+                          R8 unchecked Results); [--json] [--sarif]
+                          [--unsafe-report] [--root path];
                           non-zero exit on violations
     experiments           print the EXPERIMENTS.md report (paper vs computed)
     bench                 throughput harness: optimized vs reference engine
@@ -88,6 +91,7 @@ EXAMPLES:
     mbus trace analyze run.mbt --json
     mbus faults --scheme kclass --n 8 --b 4 --check
     mbus lint --json
+    mbus lint --unsafe-report
     mbus render --scheme kclass --n 3 --m 6 --b 4 --classes 3
     mbus serve --addr 127.0.0.1:7700 --workers 4
     mbus loadgen --requests 512 --concurrency 8

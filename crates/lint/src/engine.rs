@@ -12,6 +12,8 @@
 //! no reason, names an unknown rule, or suppresses nothing at all is itself
 //! reported under the `allow_hygiene` meta-rule.
 
+use crate::callgraph::{build_index, file_facts_of, WorkspaceIndex};
+use crate::items::{analyze_file, concurrency_decls, tokenize, ConcurrencyDecls, FileAnalysis};
 use crate::lexer::{clean, Pragma};
 use crate::rules::{check_file, Rule, Violation};
 use std::collections::BTreeMap;
@@ -28,6 +30,22 @@ struct AllowEntry {
     used: bool,
 }
 
+/// One `unsafe` site in the workspace inventory (`mbus lint
+/// --unsafe-report`).
+#[derive(Debug, Clone)]
+pub struct UnsafeInventoryEntry {
+    /// Crate the site lives in.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// Kind label (`unsafe block` / `unsafe fn` / ...).
+    pub kind: String,
+    /// The `SAFETY:` rationale, if present.
+    pub rationale: Option<String>,
+}
+
 /// Outcome of a full workspace pass.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
@@ -37,6 +55,13 @@ pub struct LintReport {
     pub violations: Vec<Violation>,
     /// Number of violations suppressed by pragmas or allowlist entries.
     pub suppressed: usize,
+    /// Every `unsafe` site found, annotated or not (the `--unsafe-report`
+    /// inventory).
+    pub unsafe_sites: Vec<UnsafeInventoryEntry>,
+    /// Names of the rules that ran in this pass.
+    pub rules_active: Vec<String>,
+    /// Sorted crate names the pass covered.
+    pub crates_scanned: Vec<String>,
 }
 
 impl LintReport {
@@ -65,11 +90,69 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let (mut entries, mut allow_violations) = parse_allowlist(&allow_source);
     report.violations.append(&mut allow_violations);
 
+    // Phase 1: analyze every file. Concurrency declarations are unioned
+    // per crate first so a lock declared in one module resolves when a
+    // sibling module acquires it; then the workspace-wide call-graph index
+    // is built from the non-test facts of every file.
+    let mut sources: Vec<(String, String, String)> = Vec::new();
     for (rel_path, crate_name) in workspace_sources(root)? {
         let source = fs::read_to_string(root.join(&rel_path))?;
-        report.files_scanned += 1;
-        lint_file_inner(&crate_name, &rel_path, &source, &mut entries, &mut report);
+        sources.push((rel_path, crate_name, source));
     }
+    let mut crate_decls: BTreeMap<String, ConcurrencyDecls> = BTreeMap::new();
+    let mut cleaned: Vec<(String, String, crate::lexer::CleanFile)> = Vec::new();
+    for (rel_path, crate_name, source) in sources {
+        let file = clean(&source);
+        let decls = concurrency_decls(&tokenize(&file));
+        let merged = crate_decls.entry(crate_name.clone()).or_default();
+        merged.locks.extend(decls.locks);
+        merged.atomics.extend(decls.atomics);
+        merged.condvars.extend(decls.condvars);
+        cleaned.push((rel_path, crate_name, file));
+    }
+    let mut analyses: Vec<(String, String, FileAnalysis)> = Vec::new();
+    for (rel_path, crate_name, file) in cleaned {
+        let decls = crate_decls.entry(crate_name.clone()).or_default();
+        let is_test_file = is_test_path(&rel_path);
+        analyses.push((
+            rel_path.clone(),
+            crate_name,
+            analyze_file(file, decls, is_test_file),
+        ));
+    }
+    let facts: Vec<_> = analyses
+        .iter()
+        .filter(|(_, _, a)| !a.is_test_file)
+        .map(|(rel_path, crate_name, a)| file_facts_of(crate_name, rel_path, a))
+        .collect();
+    let index = build_index(&facts);
+
+    // Phase 2: per-file rule checks + suppression resolution.
+    for (rel_path, crate_name, analysis) in &analyses {
+        report.files_scanned += 1;
+        for site in &analysis.sites {
+            report.unsafe_sites.push(UnsafeInventoryEntry {
+                crate_name: crate_name.clone(),
+                path: rel_path.clone(),
+                line: site.line + 1,
+                kind: site.kind.label().to_owned(),
+                rationale: site.rationale.clone(),
+            });
+        }
+        lint_file_inner(
+            crate_name,
+            rel_path,
+            analysis,
+            &index,
+            &mut entries,
+            &mut report,
+        );
+    }
+    report.rules_active = Rule::ALL.iter().map(|r| r.name().to_owned()).collect();
+    let mut crates: Vec<String> = analyses.iter().map(|(_, c, _)| c.clone()).collect();
+    crates.sort();
+    crates.dedup();
+    report.crates_scanned = crates;
 
     for entry in &entries {
         if !entry.used {
@@ -92,31 +175,60 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
 }
 
 /// Lints a single in-memory source file (no allowlist). Used by the rule
-/// unit tests and doc examples.
+/// unit tests and doc examples. The file is its own call-graph universe:
+/// cross-file lock edges obviously cannot be seen here.
 pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> LintReport {
     let mut report = LintReport {
         files_scanned: 1,
+        rules_active: Rule::ALL.iter().map(|r| r.name().to_owned()).collect(),
+        crates_scanned: vec![crate_name.to_owned()],
         ..LintReport::default()
     };
+    let file = clean(source);
+    let decls = concurrency_decls(&tokenize(&file));
+    let analysis = analyze_file(file, &decls, is_test_path(rel_path));
+    let index = build_index(&[file_facts_of(crate_name, rel_path, &analysis)]);
+    for site in &analysis.sites {
+        report.unsafe_sites.push(UnsafeInventoryEntry {
+            crate_name: crate_name.to_owned(),
+            path: rel_path.to_owned(),
+            line: site.line + 1,
+            kind: site.kind.label().to_owned(),
+            rationale: site.rationale.clone(),
+        });
+    }
     let mut entries = Vec::new();
-    lint_file_inner(crate_name, rel_path, source, &mut entries, &mut report);
+    lint_file_inner(
+        crate_name,
+        rel_path,
+        &analysis,
+        &index,
+        &mut entries,
+        &mut report,
+    );
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     report
 }
 
-/// Shared per-file pass: clean, run rules, resolve suppressions, and check
-/// pragma hygiene.
+/// Whether a workspace-relative path is an integration-test file.
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/") || rel_path.contains("/tests/")
+}
+
+/// Shared per-file pass: run rules, resolve suppressions, and check pragma
+/// hygiene.
 fn lint_file_inner(
     crate_name: &str,
     rel_path: &str,
-    source: &str,
+    analysis: &FileAnalysis,
+    index: &WorkspaceIndex,
     entries: &mut [AllowEntry],
     report: &mut LintReport,
 ) {
-    let file = clean(source);
-    let raw = check_file(crate_name, rel_path, &file);
+    let file = &analysis.clean;
+    let raw = check_file(crate_name, rel_path, analysis, index);
 
     // Map each pragma to the line it guards: its own line, or the next line
     // that carries code when the pragma stands alone.
@@ -243,8 +355,11 @@ fn parse_allowlist(source: &str) -> (Vec<AllowEntry>, Vec<Violation>) {
 }
 
 /// Enumerates every workspace `.rs` source under `root` with its crate
-/// name: `src/` of the root package plus `crates/*/src/`. The vendor tree,
-/// `tests/`, `benches/`, and `examples/` directories are out of scope.
+/// name: `src/` and `tests/` of the root package plus `crates/*/src/` and
+/// `crates/*/tests/`. Test files get the reduced rule set (`safety_comment`
+/// plus pragma hygiene). The vendor tree, `benches/`, `examples/`, and any
+/// directory named `fixtures` (lint's own seeded-violation corpora) are out
+/// of scope.
 ///
 /// Public so the workspace gate test can assert which files the pass
 /// actually covers (e.g. that a newly added crate is walked).
@@ -260,10 +375,12 @@ pub fn workspace_source_files(root: &Path) -> io::Result<Vec<(String, String)>> 
 /// internal call sites.
 fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files: Vec<(String, String)> = Vec::new();
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        for path in rs_files(&root_src)? {
-            files.push((relative(root, &path), "multibus".to_owned()));
+    for sub in ["src", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            for path in rs_files(&dir)? {
+                files.push((relative(root, &path), "multibus".to_owned()));
+            }
         }
     }
     let crates_dir = root.join("crates");
@@ -280,12 +397,14 @@ fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            let src = crate_dir.join("src");
-            if !src.is_dir() {
-                continue;
-            }
-            for path in rs_files(&src)? {
-                files.push((relative(root, &path), name.clone()));
+            for sub in ["src", "tests"] {
+                let dir = crate_dir.join(sub);
+                if !dir.is_dir() {
+                    continue;
+                }
+                for path in rs_files(&dir)? {
+                    files.push((relative(root, &path), name.clone()));
+                }
             }
         }
     }
@@ -294,6 +413,8 @@ fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
+/// Directories named `fixtures` (deliberately-dirty lint corpora) are
+/// skipped.
 fn rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
@@ -301,6 +422,9 @@ fn rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
         for entry in fs::read_dir(&current)? {
             let path = entry?.path();
             if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "fixtures") {
+                    continue;
+                }
                 stack.push(path);
             } else if path.extension().is_some_and(|ext| ext == "rs") {
                 out.push(path);

@@ -34,6 +34,9 @@ pub struct Line {
     pub code: String,
     /// Doc-comment text (`///` or `//!`) carried by this line, if any.
     pub doc: Option<String>,
+    /// Plain (non-doc) comment text carried by this line, if any. The
+    /// `safety_comment` rule reads `SAFETY:` rationales from here.
+    pub comment: Option<String>,
     /// Whether the line is inside test-only code.
     pub in_test: bool,
 }
@@ -111,6 +114,9 @@ pub fn clean(source: &str) -> CleanFile {
                     append_doc(&mut out.lines, doc);
                     is_doc = true;
                 }
+                if !is_doc {
+                    append_comment(&mut out.lines, &text);
+                }
                 if let Some((rule, reason)) = (!is_doc).then(|| parse_pragma(&text)).flatten() {
                     let own_line = current_code_is_blank(&out.lines);
                     out.pragmas.push(Pragma {
@@ -123,8 +129,10 @@ pub fn clean(source: &str) -> CleanFile {
                 i = j;
             }
             '/' if next == Some('*') => {
-                // Block comment; Rust block comments nest.
+                // Block comment; Rust block comments nest. Text is captured
+                // per line so `SAFETY:` rationales in block form count too.
                 let mut depth = 1usize;
+                let mut text = String::new();
                 i += 2;
                 while i < chars.len() && depth > 0 {
                     if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
@@ -135,11 +143,16 @@ pub fn clean(source: &str) -> CleanFile {
                         i += 2;
                     } else {
                         if chars[i] == '\n' {
+                            append_comment(&mut out.lines, &text);
+                            text.clear();
                             out.lines.push(Line::default());
+                        } else {
+                            text.push(chars[i]);
                         }
                         i += 1;
                     }
                 }
+                append_comment(&mut out.lines, &text);
             }
             '"' => {
                 emit(&mut out.lines, '"');
@@ -210,6 +223,21 @@ fn append_doc(lines: &mut [Line], text: &str) {
         let doc = line.doc.get_or_insert_with(String::new);
         doc.push_str(text.trim());
         doc.push(' ');
+    }
+}
+
+/// Attaches plain-comment text to the current line.
+fn append_comment(lines: &mut [Line], text: &str) {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    if let Some(line) = lines.last_mut() {
+        let comment = line.comment.get_or_insert_with(String::new);
+        if !comment.is_empty() {
+            comment.push(' ');
+        }
+        comment.push_str(trimmed);
     }
 }
 
@@ -454,7 +482,10 @@ pub fn fn_items(file: &CleanFile) -> Vec<FnItem> {
             // modifiers for a `pub` token.
             let mut vis_idx = k;
             while vis_idx > 0
-                && matches!(toks[vis_idx - 1].1.as_str(), "const" | "async" | "unsafe" | "extern")
+                && matches!(
+                    toks[vis_idx - 1].1.as_str(),
+                    "const" | "async" | "unsafe" | "extern"
+                )
             {
                 vis_idx -= 1;
             }
@@ -686,6 +717,77 @@ fn private() {}
         let items = fn_items(&file);
         assert_eq!(items.len(), 1);
         assert!(items[0].body.is_empty());
+    }
+
+    #[test]
+    fn plain_comment_text_is_captured_for_safety_rationales() {
+        let file = clean("// SAFETY: the pointer outlives the call\nunsafe { x() }\n");
+        assert_eq!(
+            file.lines[0].comment.as_deref(),
+            Some("SAFETY: the pointer outlives the call")
+        );
+        assert!(file.lines[1].comment.is_none());
+    }
+
+    #[test]
+    fn block_comment_text_is_captured_per_line() {
+        let file = clean("let a = 1; /* SAFETY: first\nsecond line */ let b = 2;\n");
+        assert_eq!(file.lines[0].comment.as_deref(), Some("SAFETY: first"));
+        assert_eq!(file.lines[1].comment.as_deref(), Some("second line"));
+        assert!(file.lines[1].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_resync_exactly() {
+        // Three levels of nesting plus brace noise inside the comment; the
+        // item-tree pass depends on none of those braces leaking into code.
+        let src = "fn a() {\n/* { /* {{ /* } */ }} */ } */\n}\nfn b() {}\n";
+        let file = clean(src);
+        assert_eq!(file.lines[1].code.trim(), "", "comment fully blanked");
+        let items = fn_items(&file);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].name, "b");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_do_not_unbalance_braces() {
+        // The `"#` inside the r##...## literal must not close it early, or
+        // the stray `{` would corrupt every later body span.
+        let src =
+            "fn a() -> &'static str {\n    r##\"brace { quote \"# }\"##\n}\nfn b() { body() }\n";
+        let file = clean(src);
+        let items = fn_items(&file);
+        assert_eq!(items.len(), 2, "{:?}", file.lines);
+        assert!(items[1].body.contains("body"));
+        assert!(!items[0].body.contains('{'), "literal braces blanked");
+    }
+
+    #[test]
+    fn byte_literal_braces_do_not_unbalance_bodies() {
+        let src = "fn a(c: u8) -> bool {\n    c == b'{' || c == b'}'\n}\nfn b() { body() }\n";
+        let file = clean(src);
+        assert!(!file.lines[1].code.contains('{'), "{}", file.lines[1].code);
+        let items = fn_items(&file);
+        assert_eq!(items.len(), 2);
+        assert!(items[1].body.contains("body"));
+    }
+
+    #[test]
+    fn char_literal_braces_and_escaped_quotes_stay_blanked() {
+        let src = "fn a(c: char) -> bool {\n    c == '{' || c == '\\'' || c == '}'\n}\nfn b() { body() }\n";
+        let file = clean(src);
+        assert!(!file.lines[1].code.contains('{'));
+        assert!(!file.lines[1].code.contains('}'));
+        let items = fn_items(&file);
+        assert_eq!(items.len(), 2);
+        assert!(items[1].body.contains("body"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_mistaken_for_raw_strings() {
+        let file = clean("let r#type = 1; let x = r#type + 1;\n");
+        assert!(file.lines[0].code.contains("type"));
+        assert!(file.lines[0].code.contains("+ 1"));
     }
 
     #[test]

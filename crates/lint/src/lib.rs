@@ -20,11 +20,29 @@
 //!   the seven formula modules must route results through
 //!   `mbus_stats::prob::check`.
 //!
+//! On top of the lexer, [`items`] builds a lightweight item tree (function
+//! spans, call sites, `unsafe` sites, lock/atomic declarations) and
+//! [`callgraph`] assembles a workspace-wide approximate call graph; these
+//! feed the semantic passes:
+//!
+//! - **R5 `safety_comment`** — every `unsafe` block/fn/impl/trait needs a
+//!   non-empty `// SAFETY:` rationale; the full inventory is available via
+//!   `mbus lint --unsafe-report`.
+//! - **R6 `lock_discipline`** — per-function lock-acquisition analysis over
+//!   named `Mutex`/`RwLock`/`Condvar` fields: re-acquiring a lock whose
+//!   guard is still live (self-deadlock), lock-order inversions detected as
+//!   cycles in the cross-function lock graph, and callbacks invoked while a
+//!   guard is live.
+//! - **R7 `atomics_ordering`** — atomic operations must name an explicit
+//!   `Ordering`; `Relaxed` is allowed only on allowlisted stat counters.
+//! - **R8 `unchecked_result`** — no `let _ =` or bare-statement discards of
+//!   `Result`-returning workspace calls in non-test code.
+//!
 //! Violations are suppressed by per-line `// lint:allow(rule, reason)`
 //! pragmas or the checked-in `lint.allow` file; reason-less or stale allows
 //! are themselves violations (`allow_hygiene`). See [`engine`] for the
-//! resolution order and [`report`] for the human/JSON renderers used by
-//! `mbus lint`.
+//! resolution order and [`report`] for the human/JSON/SARIF renderers used
+//! by `mbus lint`.
 //!
 //! # Examples
 //!
@@ -41,11 +59,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
 pub use engine::{lint_source, lint_workspace, workspace_source_files, LintReport, ALLOWLIST_FILE};
-pub use report::{render_human, render_json};
+pub use report::{render_human, render_json, render_sarif, render_unsafe_report};
 pub use rules::{Rule, Violation};

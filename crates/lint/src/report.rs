@@ -1,13 +1,18 @@
-//! Human-readable and JSON renderers for [`LintReport`].
+//! Human-readable, JSON, and SARIF renderers for [`LintReport`], plus the
+//! `--unsafe-report` inventory listing.
 
 use crate::engine::LintReport;
+use crate::rules::Rule;
 
 /// Renders the report the way compilers do: `path:line: rule: message`,
 /// followed by a one-line summary.
 pub fn render_human(report: &LintReport) -> String {
     let mut out = String::new();
     for v in &report.violations {
-        out.push_str(&format!("{}:{}: {}: {}\n", v.path, v.line, v.rule, v.message));
+        out.push_str(&format!(
+            "{}:{}: {}: {}\n",
+            v.path, v.line, v.rule, v.message
+        ));
     }
     out.push_str(&format!(
         "{} file(s) scanned, {} violation(s), {} suppressed by annotated allows\n",
@@ -45,6 +50,24 @@ pub fn render_json(report: &LintReport) -> String {
         report.suppressed,
         report.is_clean(),
     ));
+    out.push_str(&format!(
+        "  \"rules_active\": [{}],\n",
+        report
+            .rules_active
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(r)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    out.push_str(&format!(
+        "  \"crates_scanned\": [{}],\n",
+        report
+            .crates_scanned
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
     out.push_str("  \"violations\": [\n");
     for (i, v) in report.violations.iter().enumerate() {
         out.push_str(&format!(
@@ -60,7 +83,105 @@ pub fn render_json(report: &LintReport) -> String {
             },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"unsafe_sites\": [\n");
+    for (i, s) in report.unsafe_sites.iter().enumerate() {
+        let rationale = match &s.rationale {
+            Some(r) => format!("\"{}\"", json_escape(r)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"crate\": \"{}\", \"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"rationale\": {}}}{}\n",
+            json_escape(&s.crate_name),
+            json_escape(&s.path),
+            s.line,
+            json_escape(&s.kind),
+            rationale,
+            if i + 1 == report.unsafe_sites.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as a minimal SARIF 2.1.0 document so CI systems can
+/// ingest the findings as code-scanning results. Only the fields consumers
+/// actually read are emitted: the tool driver with its rule catalogue, and
+/// one `result` per violation carrying the rule id, message, and physical
+/// location (workspace-relative URI plus 1-based start line).
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mbus-lint\",\n          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\"}}{}\n",
+            rule.name(),
+            if i + 1 == Rule::ALL.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "        {{\"ruleId\": \"{}\", \"level\": \"error\", ",
+                "\"message\": {{\"text\": \"{}\"}}, \"locations\": [{{",
+                "\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, ",
+                "\"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            ),
+            v.rule,
+            json_escape(&v.message),
+            json_escape(&v.path),
+            v.line,
+            if i + 1 == report.violations.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Renders the `unsafe` inventory (`mbus lint --unsafe-report`): one line
+/// per site with its kind and `SAFETY:` rationale, or a loud `MISSING`
+/// marker when the rationale is absent (which R5 also flags as a
+/// violation).
+pub fn render_unsafe_report(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("unsafe-code inventory\n");
+    if report.unsafe_sites.is_empty() {
+        out.push_str("  (no unsafe code in the workspace)\n");
+    }
+    for s in &report.unsafe_sites {
+        let rationale = match &s.rationale {
+            Some(r) => format!("SAFETY: {r}"),
+            None => "MISSING safety rationale".to_string(),
+        };
+        out.push_str(&format!(
+            "  {}:{}: [{}] {} — {}\n",
+            s.path, s.line, s.crate_name, s.kind, rationale,
+        ));
+    }
+    out.push_str(&format!(
+        "{} unsafe site(s), {} without a rationale\n",
+        report.unsafe_sites.len(),
+        report
+            .unsafe_sites
+            .iter()
+            .filter(|s| s.rationale.is_none())
+            .count(),
+    ));
     out
 }
 
@@ -98,6 +219,58 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sarif_rendering_carries_rule_id_and_location() {
+        let report = lint_source(
+            "sim",
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"mbus-lint\""));
+        assert!(sarif.contains("\"ruleId\": \"no_panic\""));
+        assert!(sarif.contains("\"uri\": \"crates/sim/src/x.rs\""));
+        assert!(sarif.contains("\"startLine\": 1"));
+        // The driver advertises the full rule catalogue, including the
+        // semantic passes.
+        for rule in ["safety_comment", "lock_discipline", "atomics_ordering"] {
+            assert!(sarif.contains(&format!("{{\"id\": \"{rule}\"}}")), "{rule}");
+        }
+    }
+
+    #[test]
+    fn unsafe_report_lists_sites_and_missing_rationales() {
+        let src = "pub fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let report = lint_source("sim", "crates/sim/src/x.rs", src);
+        let text = render_unsafe_report(&report);
+        assert!(text.contains("crates/sim/src/x.rs:1: [sim] unsafe block"));
+        assert!(text.contains("MISSING safety rationale"));
+        assert!(text.contains("1 unsafe site(s), 1 without a rationale"));
+    }
+
+    #[test]
+    fn unsafe_report_handles_empty_inventory() {
+        let report = lint_source("sim", "crates/sim/src/x.rs", "fn f() {}\n");
+        let text = render_unsafe_report(&report);
+        assert!(text.contains("no unsafe code"));
+        assert!(text.contains("0 unsafe site(s), 0 without a rationale"));
+    }
+
+    #[test]
+    fn json_rendering_includes_inventory_and_rule_roster() {
+        let report = lint_source(
+            "sim",
+            "crates/sim/src/x.rs",
+            "/// Doc.\n// SAFETY: test fixture only.\npub unsafe fn f() {}\n",
+        );
+        let json = render_json(&report);
+        assert!(json.contains("\"rules_active\""));
+        assert!(json.contains("\"crates_scanned\": [\"sim\"]"));
+        assert!(json.contains("\"kind\": \"unsafe fn\""));
+        assert!(json.contains("\"rationale\": \"test fixture only.\""));
     }
 
     #[test]

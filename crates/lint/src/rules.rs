@@ -1,4 +1,4 @@
-//! The four lint rules plus the allow-hygiene meta-rule.
+//! The eight lint rules plus the allow-hygiene meta-rule.
 //!
 //! | id | name | scope |
 //! |----|------|-------|
@@ -6,8 +6,18 @@
 //! | R2 | `lossy_cast` | `mbus-sim`, `mbus-core`, `mbus-stats`, `mbus-topology`, `mbus-server`, `mbus-trace` |
 //! | R3 | `eq_doc` | `mbus-analysis`, `mbus-exact` |
 //! | R4 | `invariant_wiring` | the seven formula modules |
+//! | R5 | `safety_comment` | every `unsafe` site, test code included |
+//! | R6 | `lock_discipline` | every crate with `Mutex`/`RwLock`/`Condvar` fields, non-test code |
+//! | R7 | `atomics_ordering` | every atomic op on a declared `Atomic*` field/static, non-test code |
+//! | R8 | `unchecked_result` | discarded workspace `Result`s, non-test code |
 //! | —  | `allow_hygiene` | pragmas and the `lint.allow` file themselves |
+//!
+//! R1–R4 run on the cleaned lines alone; R5–R8 additionally use the item
+//! tree ([`crate::items`]) and the workspace call-graph index
+//! ([`crate::callgraph`]).
 
+use crate::callgraph::WorkspaceIndex;
+use crate::items::{FileAnalysis, UnsafeKind};
 use crate::lexer::{fn_items, idents, next_significant_char, CleanFile};
 use std::fmt;
 
@@ -24,6 +34,19 @@ pub enum Rule {
     /// R4: bandwidth/probability functions must route results through the
     /// `mbus_stats::prob::check` helpers (directly or by delegation).
     InvariantWiring,
+    /// R5: every `unsafe` block/fn/impl/trait must carry a non-empty
+    /// `// SAFETY:` rationale (or a `# Safety` doc section for items).
+    SafetyComment,
+    /// R6: no nested same-lock acquisition, no lock-order inversions
+    /// (cycles in the cross-function lock graph), and no user callbacks
+    /// invoked while a lock guard is live.
+    LockDiscipline,
+    /// R7: atomic operations must name their `Ordering` explicitly;
+    /// `Relaxed` only on allowlisted stat counters.
+    AtomicsOrdering,
+    /// R8: no `let _ =` / bare-statement discards of `Result`-returning
+    /// workspace calls in non-test code.
+    UncheckedResult,
     /// Meta-rule: malformed, reason-less, or stale allows.
     AllowHygiene,
 }
@@ -36,6 +59,10 @@ impl Rule {
             Rule::LossyCast => "lossy_cast",
             Rule::EqDoc => "eq_doc",
             Rule::InvariantWiring => "invariant_wiring",
+            Rule::SafetyComment => "safety_comment",
+            Rule::LockDiscipline => "lock_discipline",
+            Rule::AtomicsOrdering => "atomics_ordering",
+            Rule::UncheckedResult => "unchecked_result",
             Rule::AllowHygiene => "allow_hygiene",
         }
     }
@@ -47,9 +74,26 @@ impl Rule {
             "lossy_cast" => Some(Rule::LossyCast),
             "eq_doc" => Some(Rule::EqDoc),
             "invariant_wiring" => Some(Rule::InvariantWiring),
+            "safety_comment" => Some(Rule::SafetyComment),
+            "lock_discipline" => Some(Rule::LockDiscipline),
+            "atomics_ordering" => Some(Rule::AtomicsOrdering),
+            "unchecked_result" => Some(Rule::UncheckedResult),
             _ => None,
         }
     }
+
+    /// Every enforced rule, in report order (hygiene excluded — it is a
+    /// property of suppressions, not of source files).
+    pub const ALL: [Rule; 8] = [
+        Rule::NoPanic,
+        Rule::LossyCast,
+        Rule::EqDoc,
+        Rule::InvariantWiring,
+        Rule::SafetyComment,
+        Rule::LockDiscipline,
+        Rule::AtomicsOrdering,
+        Rule::UncheckedResult,
+    ];
 }
 
 impl fmt::Display for Rule {
@@ -71,24 +115,45 @@ pub struct Violation {
     pub message: String,
 }
 
-/// Runs every applicable rule over one cleaned file.
+/// Runs every applicable rule over one analyzed file.
 ///
 /// `crate_name` is the directory name under `crates/` (or `multibus` for the
 /// root package); `rel_path` is the workspace-relative path used in reports.
-pub fn check_file(crate_name: &str, rel_path: &str, file: &CleanFile) -> Vec<Violation> {
+/// Files under `tests/` directories get only R5 (unsafe code in tests still
+/// needs a rationale); `src/` files get the full rule set. `index` routes
+/// the workspace-level findings (lock-order cycles, cross-call
+/// re-acquisitions, `Result`-returning fn names) back to their files.
+pub fn check_file(
+    crate_name: &str,
+    rel_path: &str,
+    analysis: &FileAnalysis,
+    index: &WorkspaceIndex,
+) -> Vec<Violation> {
     let mut out = Vec::new();
-    if no_panic_applies(crate_name) {
-        no_panic(rel_path, file, &mut out);
+    let file = &analysis.clean;
+    if !analysis.is_test_file {
+        if no_panic_applies(crate_name) {
+            no_panic(rel_path, file, &mut out);
+        }
+        if LOSSY_CAST_CRATES.contains(&crate_name) {
+            lossy_cast(rel_path, file, &mut out);
+        }
+        if EQ_DOC_CRATES.contains(&crate_name) {
+            eq_doc(rel_path, file, &mut out);
+        }
+        if FORMULA_MODULES.iter().any(|m| rel_path.ends_with(m)) {
+            invariant_wiring(rel_path, file, &mut out);
+        }
+        lock_discipline(rel_path, analysis, index, &mut out);
+        atomics_ordering(rel_path, analysis, &mut out);
+        unchecked_result(rel_path, analysis, index, &mut out);
     }
-    if LOSSY_CAST_CRATES.contains(&crate_name) {
-        lossy_cast(rel_path, file, &mut out);
-    }
-    if EQ_DOC_CRATES.contains(&crate_name) {
-        eq_doc(rel_path, file, &mut out);
-    }
-    if FORMULA_MODULES.iter().any(|m| rel_path.ends_with(m)) {
-        invariant_wiring(rel_path, file, &mut out);
-    }
+    safety_comment(rel_path, analysis, &mut out);
+    out.sort_by(|a, b| {
+        a.line
+            .cmp(&b.line)
+            .then_with(|| a.rule.name().cmp(b.rule.name()))
+    });
     out
 }
 
@@ -299,13 +364,264 @@ fn invariant_wiring(rel_path: &str, file: &CleanFile, out: &mut Vec<Violation>) 
     }
 }
 
+/// R5: every `unsafe` site needs a non-empty `SAFETY:` rationale.
+fn safety_comment(rel_path: &str, analysis: &FileAnalysis, out: &mut Vec<Violation>) {
+    for site in &analysis.sites {
+        if site.rationale.is_some() {
+            continue;
+        }
+        let hint = match site.kind {
+            UnsafeKind::Block => "a `// SAFETY:` comment",
+            _ => "a `// SAFETY:` comment or a `# Safety` doc section",
+        };
+        out.push(Violation {
+            rule: Rule::SafetyComment,
+            path: rel_path.to_owned(),
+            line: site.line + 1,
+            message: format!(
+                "{} has no safety rationale; add {hint} explaining why the \
+                 invariants hold",
+                site.kind.label()
+            ),
+        });
+    }
+}
+
+/// Receivers allowed to use `Ordering::Relaxed`: monotonic stat counters
+/// whose values are only ever read for reporting, never used to order
+/// other memory operations.
+pub const RELAXED_COUNTERS: [&str; 14] = [
+    "hits",
+    "misses",
+    "inserts",
+    "retained",
+    "total",
+    "shed",
+    "responses_4xx",
+    "responses_5xx",
+    "workers",
+    "busy_workers",
+    "requests",
+    "errors",
+    "cache_hits",
+    "latency_saturated",
+];
+
+/// Whether a violation line sits in test-only code (unit-test modules
+/// inside `src/` files).
+fn line_in_test(analysis: &FileAnalysis, line: usize) -> bool {
+    analysis.clean.lines.get(line).is_some_and(|l| l.in_test)
+}
+
+/// R6: nested same-lock acquisition, callbacks invoked under a guard, and
+/// workspace-level lock-order findings routed to this file.
+fn lock_discipline(
+    rel_path: &str,
+    analysis: &FileAnalysis,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Violation>,
+) {
+    for facts in &analysis.facts {
+        for (lock, line) in &facts.nested_same {
+            if line_in_test(analysis, *line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::LockDiscipline,
+                path: rel_path.to_owned(),
+                line: line + 1,
+                message: format!(
+                    "lock `{lock}` acquired again while its guard is still \
+                     live in `{}` — self-deadlock on non-reentrant std locks",
+                    facts.name
+                ),
+            });
+        }
+        for (param, lock, line) in &facts.callback_under_lock {
+            if line_in_test(analysis, *line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::LockDiscipline,
+                path: rel_path.to_owned(),
+                line: line + 1,
+                message: format!(
+                    "callback `{param}` invoked in `{}` while guard of \
+                     `{lock}` is live; run user code unlocked so re-entrant \
+                     lookups cannot deadlock",
+                    facts.name
+                ),
+            });
+        }
+    }
+    for finding in index.cycles.iter().chain(&index.reacquires) {
+        if finding.path == rel_path && !line_in_test(analysis, finding.line) {
+            out.push(Violation {
+                rule: Rule::LockDiscipline,
+                path: rel_path.to_owned(),
+                line: finding.line + 1,
+                message: finding.message.clone(),
+            });
+        }
+    }
+}
+
+/// R7: atomic ops must name an `Ordering`; `Relaxed` only on allowlisted
+/// stat counters.
+fn atomics_ordering(rel_path: &str, analysis: &FileAnalysis, out: &mut Vec<Violation>) {
+    for facts in &analysis.facts {
+        for op in &facts.atomic_ops {
+            if line_in_test(analysis, op.line) {
+                continue;
+            }
+            if op.orderings.is_empty() {
+                out.push(Violation {
+                    rule: Rule::AtomicsOrdering,
+                    path: rel_path.to_owned(),
+                    line: op.line + 1,
+                    message: format!(
+                        "`{}.{}` names no explicit `Ordering`; spell out the \
+                         memory ordering at the call site",
+                        op.receiver, op.method
+                    ),
+                });
+            } else if op.orderings.iter().any(|o| o == "Relaxed")
+                && !RELAXED_COUNTERS.contains(&op.receiver.as_str())
+            {
+                out.push(Violation {
+                    rule: Rule::AtomicsOrdering,
+                    path: rel_path.to_owned(),
+                    line: op.line + 1,
+                    message: format!(
+                        "`{}.{}` uses `Ordering::Relaxed` but `{}` is not an \
+                         allowlisted stat counter; use an acquire/release \
+                         ordering or justify with an allow",
+                        op.receiver, op.method, op.receiver
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R8: flag `let _ = f(...)` and bare `f(...);` statements whose final
+/// depth-0 call resolves (by name, unanimously) to a `Result`-returning
+/// workspace fn. Statements containing `?` or macros are exempt.
+fn unchecked_result(
+    rel_path: &str,
+    analysis: &FileAnalysis,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Violation>,
+) {
+    // Statement boundaries over the whole token stream: `;` `{` `}`, but
+    // only at paren/bracket depth 0 — the `;` inside `vec![0u16; m]` or a
+    // closure argument does not end the enclosing statement.
+    let toks = &analysis.toks;
+    let mut start = 0usize;
+    let mut depth = 0usize;
+    for i in 0..=toks.len() {
+        if i < toks.len() {
+            if toks[i].is_sym('(') || toks[i].is_sym('[') {
+                depth += 1;
+            } else if toks[i].is_sym(')') || toks[i].is_sym(']') {
+                depth = depth.saturating_sub(1);
+            }
+        }
+        let boundary = i == toks.len()
+            || (depth == 0 && (toks[i].is_sym(';') || toks[i].is_sym('{') || toks[i].is_sym('}')));
+        if !boundary {
+            continue;
+        }
+        // Only `;`-terminated statements discard values.
+        if i < toks.len() && toks[i].is_sym(';') {
+            check_discard_stmt(rel_path, analysis, index, &toks[start..i], out);
+        }
+        start = i + 1;
+    }
+}
+
+/// Examines one `;`-terminated statement for a discarded workspace Result.
+fn check_discard_stmt(
+    rel_path: &str,
+    analysis: &FileAnalysis,
+    index: &WorkspaceIndex,
+    stmt: &[crate::items::Tok],
+    out: &mut Vec<Violation>,
+) {
+    if stmt.is_empty() || line_in_test(analysis, stmt[0].line) {
+        return;
+    }
+    if stmt.iter().any(|t| t.is_sym('?')) {
+        return; // propagated
+    }
+    let is_let_underscore =
+        stmt.len() > 2 && stmt[0].is_ident("let") && stmt[1].is_ident("_") && stmt[2].is_sym('=');
+    let has_binding = stmt
+        .iter()
+        .any(|t| t.is_sym('=') || t.is_ident("let") || t.is_ident("return"));
+    if !is_let_underscore && has_binding {
+        return; // assigned or returned somewhere — not a discard
+    }
+    // Last call target at paren depth 0: `ident (` outside any nesting.
+    // A macro (`ident !`) is not a fn call.
+    let body = if is_let_underscore { &stmt[3..] } else { stmt };
+    let mut depth = 0usize;
+    let mut last_call: Option<(&str, usize)> = None;
+    for (j, t) in body.iter().enumerate() {
+        if t.is_sym('(') || t.is_sym('[') {
+            depth += 1;
+        } else if t.is_sym(')') || t.is_sym(']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 {
+            if let Some(w) = t.ident() {
+                let next = body.get(j + 1);
+                if next.is_some_and(|n| n.is_sym('(')) {
+                    last_call = Some((w, t.line));
+                } else if next.is_some_and(|n| n.is_sym('!')) {
+                    return; // macro statement — not checkable by name
+                }
+            }
+        }
+    }
+    let Some((callee, line)) = last_call else {
+        return;
+    };
+    if index.result_fns.contains(callee) {
+        let form = if is_let_underscore {
+            "`let _ =`"
+        } else {
+            "bare statement"
+        };
+        out.push(Violation {
+            rule: Rule::UncheckedResult,
+            path: rel_path.to_owned(),
+            line: line + 1,
+            message: format!(
+                "{form} discards the `Result` of `{callee}`; handle or \
+                 propagate it (or justify with `// lint:allow(unchecked_result, reason)`)"
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph::{build_index, file_facts_of};
+    use crate::items::{analyze_file, concurrency_decls, tokenize};
     use crate::lexer::clean;
 
+    fn run_as(crate_name: &str, rel_path: &str, src: &str, is_test_file: bool) -> Vec<Violation> {
+        let file = clean(src);
+        let toks = tokenize(&file);
+        let decls = concurrency_decls(&toks);
+        let analysis = analyze_file(file, &decls, is_test_file);
+        let index = build_index(&[file_facts_of(crate_name, rel_path, &analysis)]);
+        check_file(crate_name, rel_path, &analysis, &index)
+    }
+
     fn run(crate_name: &str, rel_path: &str, src: &str) -> Vec<Violation> {
-        check_file(crate_name, rel_path, &clean(src))
+        run_as(crate_name, rel_path, src, false)
     }
 
     #[test]
@@ -404,6 +720,156 @@ pub fn memory_bandwidth(x: f64) -> f64 { full_bandwidth(x) }
         assert!(run("analysis", "crates/analysis/src/bandwidth.rs", other).is_empty());
         // Formula fn outside the formula modules: exempt.
         assert!(run("analysis", "crates/analysis/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_required_on_every_unsafe_site() {
+        let bad = "pub fn f() { unsafe { libc() } }\n";
+        let hits = run("server", "crates/server/src/x.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::SafetyComment);
+        assert_eq!(hits[0].line, 1);
+        let good = "pub fn f() {\n    // SAFETY: handler only sets an atomic flag.\n    unsafe { libc() }\n}\n";
+        assert!(run("server", "crates/server/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_applies_in_test_files_too() {
+        let bad = "unsafe impl GlobalAlloc for A {}\n";
+        let hits = run_as("sim", "crates/sim/tests/alloc.rs", bad, true);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::SafetyComment);
+        // And nothing else runs on test files.
+        let panicky = "fn t() { x.unwrap(); }\n";
+        assert!(run_as("sim", "crates/sim/tests/t.rs", panicky, true).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_flags_nested_and_callback_under_guard() {
+        let src = "\
+struct S { q: Mutex<u8> }
+impl S {
+    pub fn bad<F: FnOnce() -> u8>(&self, compute: F) -> u8 {
+        let g = self.q.lock();
+        let h = self.q.lock();
+        compute()
+    }
+}
+";
+        let hits = run("stats", "crates/stats/src/x.rs", src);
+        let nested: Vec<_> = hits
+            .iter()
+            .filter(|v| v.message.contains("guard is still"))
+            .collect();
+        assert_eq!(nested.len(), 1);
+        assert_eq!(nested[0].line, 5);
+        assert!(hits
+            .iter()
+            .any(|v| v.message.contains("callback `compute`")));
+        assert!(hits.iter().all(|v| v.rule == Rule::LockDiscipline));
+    }
+
+    #[test]
+    fn lock_discipline_reports_order_inversions() {
+        let src = "\
+struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    fn fwd(&self) { let x = self.a.lock(); let y = self.b.lock(); }
+    fn rev(&self) { let y = self.b.lock(); let x = self.a.lock(); }
+}
+";
+        let hits = run("server", "crates/server/src/x.rs", src);
+        assert!(
+            hits.iter()
+                .any(|v| v.rule == Rule::LockDiscipline && v.message.contains("inversion")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn atomics_ordering_requires_explicit_ordering() {
+        let src = "\
+struct S { flag: AtomicBool }
+impl S {
+    fn f(&self, o: Ordering) {
+        self.flag.store(true, o);
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+";
+        let hits = run("server", "crates/server/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, Rule::AtomicsOrdering);
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn relaxed_only_on_allowlisted_counters() {
+        let ok = "\
+struct S { hits: AtomicU64 }
+impl S { fn f(&self) { self.hits.fetch_add(1, Ordering::Relaxed); } }
+";
+        assert!(run("stats", "crates/stats/src/x.rs", ok).is_empty());
+        let bad = "\
+struct S { ready: AtomicBool }
+impl S { fn f(&self) { self.ready.store(true, Ordering::Relaxed); } }
+";
+        let hits = run("server", "crates/server/src/x.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::AtomicsOrdering);
+        assert!(hits[0].message.contains("Relaxed"));
+    }
+
+    #[test]
+    fn unchecked_result_flags_let_underscore_discards() {
+        let src = "\
+fn send() -> Result<(), E> { Ok(()) }
+fn f() { let _ = send(); }
+fn g() -> Result<(), E> { send()?; Ok(()) }
+fn h() { let _ = infallible(); }
+";
+        let hits = run("server", "crates/server/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, Rule::UncheckedResult);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn unchecked_result_flags_bare_statement_discards() {
+        let src = "\
+fn send() -> Result<(), E> { Ok(()) }
+fn f(x: &mut S) { send(); other_thing(x); }
+";
+        let hits = run("server", "crates/server/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn unchecked_result_ignores_macros_and_bound_results() {
+        let src = "\
+fn send() -> Result<(), E> { Ok(()) }
+fn f(w: &mut W) {
+    let r = send();
+    writeln!(w, \"x\");
+    if send().is_err() { log(); }
+}
+";
+        assert!(run("server", "crates/server/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_result_not_split_by_semicolons_inside_brackets() {
+        // The `;` in `vec![0u16; m]` must not truncate the statement and
+        // hide the trailing `?` that propagates the Result.
+        let src = "\
+fn intern(v: Vec<u16>) -> Result<usize, E> { Ok(v.len()) }
+fn f(m: usize) -> Result<(), E> {
+    intern(vec![0u16; m])?;
+    Ok(())
+}
+";
+        assert!(run("exact", "crates/exact/src/x.rs", src).is_empty());
     }
 
     #[test]

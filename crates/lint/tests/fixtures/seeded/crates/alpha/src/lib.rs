@@ -1,0 +1,19 @@
+//! Seeded fixture: R5 (missing SAFETY rationale) and R7 (atomics ordering).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Event counter.
+pub static EVENTS: AtomicU64 = AtomicU64::new(0);
+/// Retry counter (not an allowlisted stat counter).
+pub static RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads one byte; deliberately missing its SAFETY rationale.
+pub unsafe fn peek(p: *const u8) -> u8 {
+    *p
+}
+
+/// Two ordering mistakes: an implicit ordering and a non-counter Relaxed.
+pub fn bump() {
+    EVENTS.fetch_add(1);
+    RETRIES.store(5, Ordering::Relaxed);
+}

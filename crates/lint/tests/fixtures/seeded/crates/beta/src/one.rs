@@ -1,0 +1,20 @@
+//! Seeded fixture: lock declarations plus the forward acquisition order.
+
+use std::sync::Mutex;
+
+/// Shared state with two independently locked counters.
+pub struct State {
+    /// First counter.
+    pub a: Mutex<u32>,
+    /// Second counter.
+    pub b: Mutex<u32>,
+}
+
+/// Takes `a` then `b`.
+pub fn forward(s: &State) {
+    if let Ok(ga) = s.a.lock() {
+        if let Ok(gb) = s.b.lock() {
+            let _ = (*ga, *gb);
+        }
+    }
+}

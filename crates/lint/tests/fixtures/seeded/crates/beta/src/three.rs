@@ -1,0 +1,19 @@
+//! Seeded fixture: self-deadlock and callback-under-guard.
+
+use crate::State;
+
+/// Re-acquires `a` while its own guard is live.
+pub fn double(s: &State) {
+    if let Ok(outer) = s.a.lock() {
+        if let Ok(inner) = s.a.lock() {
+            let _ = (*outer, *inner);
+        }
+    }
+}
+
+/// Runs `callback` while `a`'s guard is live.
+pub fn notify<F: Fn(u32)>(s: &State, callback: F) {
+    if let Ok(guard) = s.a.lock() {
+        callback(*guard);
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded fixture: the inverted acquisition order (cycle with `one.rs`).
+
+use crate::State;
+
+/// Takes `b` then `a` — a lock-order inversion against `forward`.
+pub fn backward(s: &State) {
+    if let Ok(gb) = s.b.lock() {
+        if let Ok(ga) = s.a.lock() {
+            let _ = (*ga, *gb);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded fixture: discarded workspace `Result`s (R8).
+
+/// Unit error.
+pub struct Error;
+
+/// Fallible send.
+pub fn send() -> Result<(), Error> {
+    Ok(())
+}
+
+/// Discards the `Result` both ways.
+pub fn fire_and_forget() {
+    let _ = send();
+    send();
+}

@@ -241,7 +241,9 @@ fn enqueue(shared: &Arc<Shared>, capacity: usize, stream: TcpStream) {
         let responder_shared = Arc::clone(shared);
         std::thread::spawn(move || {
             answer_shed(stream, &responder_shared.http_limits);
-            responder_shared.shed_responders.fetch_sub(1, Ordering::SeqCst);
+            responder_shared
+                .shed_responders
+                .fetch_sub(1, Ordering::SeqCst);
         });
         return;
     }
@@ -256,6 +258,7 @@ fn answer_shed(mut stream: TcpStream, limits: &Limits) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     // Outcome ignored: even a malformed or oversized request gets the 429,
     // and the read itself is what prevents the reset race.
+    // lint:allow(unchecked_result, best-effort drain; the 429 below is the answer either way)
     let _ = http::read_request(&mut stream, limits);
     let body = ApiError {
         status: 429,
@@ -264,6 +267,7 @@ fn answer_shed(mut stream: TcpStream, limits: &Limits) {
     }
     .to_body();
     let response = Response::json(429, body).with_retry_after(RETRY_AFTER_SECONDS);
+    // lint:allow(unchecked_result, shed path; a client that hung up loses nothing)
     let _ = response.write_to(&mut stream);
 }
 
@@ -297,6 +301,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     match http::read_request(&mut stream, &shared.http_limits) {
         Ok(request) => {
             let (endpoint, cache_hit, response) = route(shared, &request);
+            // lint:allow(unchecked_result, a write failure means the peer vanished; metrics still record)
             let _ = response.write_to(&mut stream);
             shared
                 .metrics
@@ -317,6 +322,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 },
                 message: err.reason(),
             };
+            // lint:allow(unchecked_result, error-path courtesy response; peer may already be gone)
             let _ = Response::json(status, api.to_body()).write_to(&mut stream);
             shared
                 .metrics
@@ -347,7 +353,11 @@ fn route(shared: &Shared, request: &Request) -> (Option<Endpoint>, bool, Respons
     }
     match answer(shared, endpoint, &request.body) {
         Ok((cache_hit, body)) => (Some(endpoint), cache_hit, Response::json(200, body)),
-        Err(api) => (Some(endpoint), false, Response::json(api.status, api.to_body())),
+        Err(api) => (
+            Some(endpoint),
+            false,
+            Response::json(api.status, api.to_body()),
+        ),
     }
 }
 
@@ -418,7 +428,10 @@ mod tests {
         let (hit1, body1) = answer(shared, Endpoint::Bandwidth, b"{}").unwrap();
         let (hit2, body2) = answer(shared, Endpoint::Bandwidth, b"{\"n\": 8}").unwrap();
         assert!(!hit1);
-        assert!(hit2, "explicit default must hit the implicit default's entry");
+        assert!(
+            hit2,
+            "explicit default must hit the implicit default's entry"
+        );
         assert_eq!(
             body1.replace("\"cached\":false", ""),
             body2.replace("\"cached\":true", "")
@@ -436,8 +449,12 @@ mod tests {
         .unwrap();
         let err = answer(&server.shared, Endpoint::Bandwidth, b"not json").unwrap_err();
         assert_eq!((err.status, err.kind), (400, "bad_json"));
-        let err = answer(&server.shared, Endpoint::Simulate, b"{\"cycles\": 9999999999}")
-            .unwrap_err();
+        let err = answer(
+            &server.shared,
+            Endpoint::Simulate,
+            b"{\"cycles\": 9999999999}",
+        )
+        .unwrap_err();
         assert_eq!(err.status, 422);
     }
 }

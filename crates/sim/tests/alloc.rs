@@ -17,16 +17,26 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards verbatim to [`System`], which upholds the
+// GlobalAlloc contract; the only extra work is a Relaxed counter bump, which
+// cannot allocate, unwind, or touch the returned pointers.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the GlobalAlloc contract for `layout`; the
+    // request is forwarded to `System.alloc` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from a matching `alloc` on this same
+    // wrapper, which always delegated to `System`, so handing them back to
+    // `System.dealloc` is the exact inverse.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same delegation argument as `dealloc` — the block being
+    // resized was produced by `System` via this wrapper.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

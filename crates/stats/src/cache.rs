@@ -18,7 +18,11 @@
 //!   computation consults the same cache) therefore cannot deadlock. The
 //!   cost is that two threads racing on a cold key may both compute it; the
 //!   first insert wins and later racers adopt the winner's `Arc`, so all
-//!   callers observe one canonical value.
+//!   callers observe one canonical value. Debug builds enforce the contract
+//!   at runtime: a thread-local [`reentry`] token tracks which shard locks
+//!   the current thread holds, and re-entering a held shard panics
+//!   immediately instead of deadlocking. (`mbus-lint`'s `lock_discipline`
+//!   pass checks the same invariant statically.)
 //! * **Bounded** — each shard holds at most `capacity_per_shard` entries;
 //!   when a shard is full, new values are returned to the caller but not
 //!   retained. No eviction machinery, no unbounded growth.
@@ -36,6 +40,65 @@ use std::sync::{Arc, PoisonError, RwLock};
 
 /// One shard: a lock around its slice of the key space.
 type Shard<K, V> = RwLock<HashMap<K, Arc<V>>>;
+
+/// Debug-build tripwire pinning the module's "compute runs unlocked"
+/// contract: every shard-lock acquisition registers a thread-local
+/// `(cache, shard)` token for the guard's lifetime, and acquiring a token
+/// for a pair this thread already holds panics immediately — which is
+/// exactly what would happen if a future refactor made
+/// [`MemoCache::get_or_insert_with`] invoke its compute closure while the
+/// shard lock is live. Release builds compile all of this out.
+#[cfg(debug_assertions)]
+mod reentry {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Distinguishes caches so nested lookups across *different* caches
+    /// (explicitly supported) never collide on a shard index.
+    static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// `(cache id, shard index)` pairs whose lock this thread holds.
+        static HELD: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn next_cache_id() -> u64 {
+        NEXT_CACHE_ID.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// RAII registration of one held shard lock; construction panics when
+    /// the pair is already registered on this thread.
+    pub(super) struct ShardToken {
+        cache: u64,
+        shard: usize,
+    }
+
+    impl ShardToken {
+        pub(super) fn enter(cache: u64, shard: usize) -> Self {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if held.contains(&(cache, shard)) {
+                    // lint:allow(no_panic, debug-only invariant tripwire; compiled out of release builds)
+                    panic!(
+                        "MemoCache shard {shard} re-entered while its lock is \
+                         held on this thread; compute closures must run unlocked"
+                    );
+                }
+                held.push((cache, shard));
+            });
+            ShardToken { cache, shard }
+        }
+    }
+
+    impl Drop for ShardToken {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                held.borrow_mut()
+                    .retain(|pair| *pair != (self.cache, self.shard));
+            });
+        }
+    }
+}
 
 /// A point-in-time snapshot of a [`MemoCache`]'s counters.
 ///
@@ -79,6 +142,8 @@ pub struct MemoCache<K, V> {
     misses: AtomicU64,
     inserts: AtomicU64,
     retained: AtomicU64,
+    #[cfg(debug_assertions)]
+    debug_id: u64,
 }
 
 impl<K: Eq + Hash, V> MemoCache<K, V> {
@@ -93,18 +158,30 @@ impl<K: Eq + Hash, V> MemoCache<K, V> {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             retained: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            debug_id: reentry::next_cache_id(),
         }
     }
 
-    fn shard(&self, key: &K) -> &Shard<K, V> {
+    fn shard_index(&self, key: &K) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         let index = hasher.finish() % u64::try_from(self.shards.len()).unwrap_or(1);
         // The modulus is a live in-range usize, so the index converts back
         // losslessly even on 32-bit targets.
-        let index = usize::try_from(index).unwrap_or(0);
-        &self.shards[index]
+        usize::try_from(index).unwrap_or(0)
     }
+
+    /// Registers `index` as lock-held on this thread for the token's
+    /// lifetime (debug builds only); see [`reentry`].
+    #[cfg(debug_assertions)]
+    fn shard_token(&self, index: usize) -> reentry::ShardToken {
+        reentry::ShardToken::enter(self.debug_id, index)
+    }
+
+    /// Release builds carry no re-entrancy bookkeeping.
+    #[cfg(not(debug_assertions))]
+    fn shard_token(&self, _index: usize) {}
 
     /// Returns the cached value for `key`, or computes, caches, and returns
     /// it. `compute` runs with **no lock held**, so it may itself consult
@@ -118,8 +195,9 @@ impl<K: Eq + Hash, V> MemoCache<K, V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(compute());
-        let mut map = self
-            .shard(&key)
+        let index = self.shard_index(&key);
+        let _held = self.shard_token(index);
+        let mut map = self.shards[index]
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(winner) = map.get(&key) {
@@ -135,8 +213,9 @@ impl<K: Eq + Hash, V> MemoCache<K, V> {
 
     /// Returns the cached value for `key` without computing anything.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        let map = self
-            .shard(key)
+        let index = self.shard_index(key);
+        let _held = self.shard_token(index);
+        let map = self.shards[index]
             .read()
             .unwrap_or_else(PoisonError::into_inner);
         let found = map.get(key).map(Arc::clone);
@@ -148,10 +227,12 @@ impl<K: Eq + Hash, V> MemoCache<K, V> {
 
     /// Number of retained entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
-            .sum()
+        let mut total = 0;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let _held = self.shard_token(index);
+            total += shard.read().unwrap_or_else(PoisonError::into_inner).len();
+        }
+        total
     }
 
     /// Whether the cache currently retains no entries.
@@ -161,7 +242,8 @@ impl<K: Eq + Hash, V> MemoCache<K, V> {
 
     /// Drops every retained entry (outstanding `Arc`s stay alive).
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
+        for (index, shard) in self.shards.iter().enumerate() {
+            let _held = self.shard_token(index);
             let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
             let dropped = u64::try_from(map.len()).unwrap_or(0);
             map.clear();
@@ -262,8 +344,35 @@ mod tests {
     fn nested_lookup_on_same_cache_does_not_deadlock() {
         let cache: MemoCache<u32, u32> = MemoCache::new(1, 16);
         // Key 1's computation consults key 0 on the same (single-shard)
-        // cache; with a held lock this would self-deadlock.
+        // cache; with a held lock this would self-deadlock. The debug
+        // re-entrancy guard must stay silent here: compute runs unlocked.
         let v = cache.get_or_insert_with(1, || *cache.get_or_insert_with(0, || 5) * 2);
         assert_eq!(*v, 10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "re-entered while its lock is held")]
+    fn debug_guard_trips_when_a_lookup_runs_under_the_shard_lock() {
+        let cache: MemoCache<u32, u32> = MemoCache::new(1, 16);
+        // Simulate the regression the guard exists to catch: hold shard 0
+        // exactly the way `get_or_insert_with` does (token, then write
+        // lock) and perform a lookup that hashes to the same shard. The
+        // token check fires before `get` touches the RwLock, so this
+        // panics instead of deadlocking.
+        let _held = cache.shard_token(0);
+        let _guard = cache.shards[0]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache.get(&7);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn debug_guard_tokens_unregister_on_drop() {
+        let cache: MemoCache<u32, u32> = MemoCache::new(1, 16);
+        drop(cache.shard_token(0));
+        // Re-entering after the token dropped is fine.
+        let _held = cache.shard_token(0);
     }
 }
