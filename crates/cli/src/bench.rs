@@ -1,6 +1,6 @@
 //! `mbus bench` — the workspace throughput harness.
 //!
-//! Three measurements, reported to stdout and written as JSON:
+//! Four measurements, reported to stdout and written as JSON:
 //!
 //! 1. **Engine throughput**: simulated cycles/sec of the optimized
 //!    [`Simulator`] against the frozen pre-optimization
@@ -14,7 +14,16 @@
 //!    on a 64-point full-connection sweep at N = 64. On a single-core
 //!    machine the parallel run would just repeat the serial measurement, so
 //!    it is skipped and no speedup is reported.
-//! 3. **Exact engines** (`--exact` runs only this section): the
+//! 3. **Replication scaling** (`--scaling` runs only this section):
+//!    replications/sec of the batched SoA lane engine against the scalar
+//!    engine on a single worker — the per-replication amortization the
+//!    batching work targets — plus the batched engine's throughput at
+//!    1, 2, 4, … workers (the work-stealing pool's scaling curve; one
+//!    point on a single-core machine). The two engines follow different
+//!    sampling specs, so the gate is statistical agreement of the mean
+//!    bandwidth, plus bit-exact determinism of the batched reports
+//!    across worker counts.
+//! 4. **Exact engines** (`--exact` runs only this section): the
 //!    subset-transform requested-set pmf against the retained
 //!    per-processor DP on a 256×16 hierarchical workload (identical
 //!    results, `O(G·2^M + 2^M·M)` vs `O(N·2^M·M)` work), and the lumped
@@ -30,6 +39,9 @@ use mbus_core::analysis::sweep::bus_sweep_with_workers;
 use mbus_core::exact;
 use mbus_core::prelude::*;
 use mbus_core::sim::reference::ReferenceSimulator;
+use mbus_core::sim::runner::{
+    run_replications_scalar_with_workers, run_replications_with_workers,
+};
 use mbus_core::stats::parallel::available_workers;
 use std::time::Instant;
 
@@ -177,6 +189,114 @@ fn sweep_benchmark(n: usize, reps: usize) -> Result<SweepResult, String> {
     })
 }
 
+struct ScalingResult {
+    replications: usize,
+    /// Cycles per replication (including warmup).
+    total_cycles: u64,
+    /// Scalar engine, one worker.
+    scalar_rps: f64,
+    /// Batched SoA engine, one worker.
+    batched_rps: f64,
+    /// Batched replications/sec at each measured worker count,
+    /// ascending; the first entry is always `(1, batched_rps)`.
+    curve: Vec<(usize, f64)>,
+}
+
+impl ScalingResult {
+    /// Single-worker batched-over-scalar speedup — the headline number.
+    fn speedup(&self) -> f64 {
+        self.batched_rps / self.scalar_rps
+    }
+}
+
+/// Times replicated runs on the batched SoA engine against the scalar
+/// engine (one worker each), then walks the batched engine up the worker
+/// counts. Worker counts double from 1 and always include the detected
+/// maximum.
+fn scaling_benchmark(
+    n: usize,
+    b: usize,
+    cycles: u64,
+    seed: u64,
+    replications: usize,
+    reps: usize,
+) -> Result<ScalingResult, String> {
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+    let matrix = paper_params::hierarchical(n)
+        .map_err(|e| e.to_string())?
+        .matrix();
+    let config = SimConfig::new(cycles).with_warmup(cycles / 20).with_seed(seed);
+    let total_cycles = cycles + cycles / 20;
+
+    // Gates before timing: the engines follow different sampling specs,
+    // so the cross-check is statistical (mean bandwidth) rather than
+    // bit-exact; batched reports, however, must be deterministic across
+    // worker counts.
+    let batched = run_replications_with_workers(&net, &matrix, 1.0, &config, replications, 1)
+        .map_err(|e| e.to_string())?;
+    let scalar =
+        run_replications_scalar_with_workers(&net, &matrix, 1.0, &config, replications, 1)
+            .map_err(|e| e.to_string())?;
+    if batched.engine != "batched" || scalar.engine != "scalar" {
+        return Err("engine selection gate failed — benchmark void".into());
+    }
+    if (batched.bandwidth.mean() - scalar.bandwidth.mean()).abs() > 0.05 {
+        return Err(format!(
+            "batched ({}) and scalar ({}) means diverged — benchmark void",
+            batched.bandwidth.mean(),
+            scalar.bandwidth.mean()
+        ));
+    }
+
+    let (batched_secs, scalar_secs) = best_seconds_interleaved(
+        reps,
+        || {
+            run_replications_with_workers(&net, &matrix, 1.0, &config, replications, 1)
+                // lint:allow(no_panic, the same run succeeded in the agreement gate above; timing closures must stay Result-free)
+                .expect("checked above");
+        },
+        || {
+            run_replications_scalar_with_workers(&net, &matrix, 1.0, &config, replications, 1)
+                // lint:allow(no_panic, the same run succeeded in the agreement gate above; timing closures must stay Result-free)
+                .expect("checked above");
+        },
+    );
+    let batched_rps = replications as f64 / batched_secs;
+
+    let mut curve = vec![(1usize, batched_rps)];
+    let max_workers = available_workers();
+    let mut counts: Vec<usize> = std::iter::successors(Some(2usize), |w| Some(w * 2))
+        .take_while(|&w| w < max_workers)
+        .collect();
+    if max_workers > 1 {
+        counts.push(max_workers);
+    }
+    for workers in counts {
+        let wide =
+            run_replications_with_workers(&net, &matrix, 1.0, &config, replications, workers)
+                .map_err(|e| e.to_string())?;
+        if wide.reports != batched.reports {
+            return Err(format!(
+                "batched reports changed at {workers} workers — benchmark void"
+            ));
+        }
+        let secs = best_seconds(reps, || {
+            run_replications_with_workers(&net, &matrix, 1.0, &config, replications, workers)
+                // lint:allow(no_panic, the same run succeeded in the determinism gate above; timing closures must stay Result-free)
+                .expect("checked above");
+        });
+        curve.push((workers, replications as f64 / secs));
+    }
+
+    Ok(ScalingResult {
+        replications,
+        total_cycles,
+        scalar_rps: replications as f64 / scalar_secs,
+        batched_rps,
+        curve,
+    })
+}
+
 struct ExactResult {
     n: usize,
     m: usize,
@@ -315,6 +435,35 @@ fn sweep_json(sweep_n: usize, sweep: &SweepResult) -> String {
     )
 }
 
+/// The `"scaling"` JSON section.
+fn scaling_json(n: usize, b: usize, seed: u64, scaling: &ScalingResult) -> String {
+    let curve = scaling
+        .curve
+        .iter()
+        .map(|&(workers, rps)| {
+            format!(
+                "      {{ \"workers\": {workers}, \"replications_per_sec\": {rps:.2} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "  \"scaling\": {{\n    \"n\": {n},\n    \"m\": {n},\n    \"b\": {b},\n    \
+         \"scheme\": \"full\",\n    \"workload\": \"hierarchical\",\n    \"rate\": 1.0,\n    \
+         \"resubmission\": false,\n    \"seed\": {seed},\n    \
+         \"replications\": {reps},\n    \"total_cycles_per_replication\": {total},\n    \
+         \"scalar_replications_per_sec\": {srps:.2},\n    \
+         \"batched_replications_per_sec\": {brps:.2},\n    \
+         \"single_worker_speedup\": {speedup:.3},\n    \
+         \"workers\": [\n{curve}\n    ]\n  }}",
+        reps = scaling.replications,
+        total = scaling.total_cycles,
+        srps = scaling.scalar_rps,
+        brps = scaling.batched_rps,
+        speedup = scaling.speedup(),
+    )
+}
+
 /// The `"exact"` JSON section.
 fn exact_json(exact: &ExactResult) -> String {
     format!(
@@ -368,12 +517,15 @@ pub fn bench(args: &Args) -> Result<(), String> {
     let seed = args.get_or("seed", 42u64)?;
     let reps = args.get_or("reps", 5usize)?;
     let sweep_n = args.get_or("sweep-n", 64usize)?;
+    let replications = args.get_or("replications", 64usize)?;
+    let scaling_cycles = args.get_or("scaling-cycles", 20_000u64)?;
     let out = args.get_or("out", "BENCH_sim.json".to_owned())?;
     let exact_only = args.flag("exact");
+    let scaling_only = args.flag("scaling");
 
     let mut sections = Vec::new();
 
-    if !exact_only {
+    if !exact_only && !scaling_only {
         println!("engine: {n}x{n}x{b} full, hierarchical, r = 1.0, resubmission, {cycles} cycles");
         let engine = engine_benchmark(n, b, cycles, seed, reps)?;
         println!(
@@ -402,6 +554,39 @@ pub fn bench(args: &Args) -> Result<(), String> {
             ),
         }
         sections.push(sweep_json(sweep_n, &sweep));
+    }
+
+    if !exact_only {
+        let sn = 8usize;
+        let sb = 4usize;
+        println!(
+            "\nscaling: {replications} replications of {sn}x{sn}x{sb} full, hierarchical, \
+             r = 1.0, {scaling_cycles} cycles, batched vs scalar"
+        );
+        let scaling = scaling_benchmark(sn, sb, scaling_cycles, seed, replications, reps)?;
+        println!(
+            "  scalar:    {:>12.1} replications/sec (1 worker)\n  \
+             batched:   {:>12.1} replications/sec (1 worker)\n  \
+             speedup:   {:>12.2}x",
+            scaling.scalar_rps,
+            scaling.batched_rps,
+            scaling.speedup()
+        );
+        for &(workers, rps) in scaling.curve.iter().skip(1) {
+            println!(
+                "  batched:   {:>12.1} replications/sec ({workers} workers, {:.2}x vs 1)",
+                rps,
+                rps / scaling.batched_rps
+            );
+        }
+        sections.push(scaling_json(sn, sb, seed, &scaling));
+    }
+
+    if scaling_only {
+        let json = render_json(&sections);
+        std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("\nwrote {out}");
+        return Ok(());
     }
 
     println!("\nexact: transform vs DP on 256x16 hierarchical; lumped Markov on 16x8x4 uniform");
@@ -462,6 +647,35 @@ mod tests {
         } else {
             assert!(result.parallel_pps.is_none());
         }
+    }
+
+    #[test]
+    fn scaling_benchmark_runs_and_gates_hold() {
+        // Tiny run: the agreement + determinism gates and the plumbing are
+        // the point, not the throughput numbers.
+        let result = scaling_benchmark(8, 4, 400, 7, 8, 1).unwrap();
+        assert_eq!(result.replications, 8);
+        assert_eq!(result.total_cycles, 420);
+        assert!(result.scalar_rps > 0.0);
+        assert!(result.batched_rps > 0.0);
+        assert_eq!(result.curve[0].0, 1);
+        assert_eq!(result.curve.last().unwrap().0, available_workers().max(1));
+    }
+
+    #[test]
+    fn scaling_json_records_curve_and_speedup() {
+        let scaling = ScalingResult {
+            replications: 64,
+            total_cycles: 21_000,
+            scalar_rps: 100.0,
+            batched_rps: 300.0,
+            curve: vec![(1, 300.0), (2, 580.0), (4, 1100.0)],
+        };
+        let json = render_json(&[scaling_json(8, 4, 42, &scaling)]);
+        assert!(json.contains("\"single_worker_speedup\": 3.000"));
+        assert!(json.contains("\"replications\": 64"));
+        assert!(json.contains("{ \"workers\": 4, \"replications_per_sec\": 1100.00 }"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

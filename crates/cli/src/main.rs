@@ -62,12 +62,17 @@ COMMANDS:
     experiments           print the EXPERIMENTS.md report (paper vs computed)
     bench                 throughput harness: optimized vs reference engine
                           (cycles/sec), serial vs parallel sweep
-                          (points/sec; skipped on one core), and the exact
-                          engines (subset transform vs DP, lumped Markov);
+                          (points/sec; skipped on one core), batched vs
+                          scalar replication throughput with a per-worker
+                          scaling curve, and the exact engines (subset
+                          transform vs DP, lumped Markov);
                           writes BENCH_sim.json
                           [--n 32] [--b 8] [--cycles 200000] [--seed 42]
-                          [--reps 5] [--sweep-n 64] [--out BENCH_sim.json]
+                          [--reps 5] [--sweep-n 64] [--replications 64]
+                          [--scaling-cycles 20000] [--out BENCH_sim.json]
                           [--exact  run only the exact-engine section]
+                          [--scaling  run only the replication-scaling
+                          section]
     serve                 run the bandwidth-query HTTP service:
                           POST /v1/{bandwidth,exact,simulate,degraded},
                           GET /metrics; graceful drain on SIGTERM/ctrl-c

@@ -8,7 +8,7 @@
 //! |---|---|
 //! | `POST /v1/bandwidth` | closed-form analysis (`System::analytic`) |
 //! | `POST /v1/exact` | subset-transform / closed-form exact (`System::exact`) |
-//! | `POST /v1/simulate` | bounded-cycle simulation (`System::simulate`) |
+//! | `POST /v1/simulate` | bounded-cycle simulation (`System::simulate`, or `System::simulate_replicated` with `replications > 1`) |
 //! | `POST /v1/degraded` | fault-mask analysis (`degraded_analyze`) |
 //!
 //! Parsing is strict: unknown fields are rejected (a typoed `cylces` must
@@ -184,9 +184,14 @@ pub struct SimParams {
     pub seed: u64,
     /// Whether blocked requests are resubmitted instead of dropped.
     pub resubmission: bool,
+    /// Number of independent replications (seeds `seed`, `seed + 1`, …)
+    /// aggregated into a replication-level confidence interval. `1` runs
+    /// the plain scalar engine.
+    pub replications: usize,
     /// Whether to capture a trace during the run and attach summary
     /// analytics (per-bus pressure, bottleneck ranking, wait quantiles)
-    /// to the response.
+    /// to the response. Tracing is scalar-engine-only, so it is mutually
+    /// exclusive with `replications > 1`.
     pub trace_summary: bool,
 }
 
@@ -282,6 +287,7 @@ impl Query {
                 self.sim.seed,
                 u64::from(self.sim.resubmission),
                 u64::from(self.sim.trace_summary),
+                self.sim.replications as u64,
             ],
             Endpoint::Degraded => {
                 let mut buses: Vec<u64> = self
@@ -323,7 +329,14 @@ const COMMON_KEYS: [&str; 10] = [
     "n", "m", "b", "rate", "scheme", "groups", "classes", "workload", "clusters", "alpha",
 ];
 /// Extra keys accepted by `/v1/simulate`.
-const SIM_KEYS: [&str; 5] = ["cycles", "warmup", "seed", "resubmission", "trace_summary"];
+const SIM_KEYS: [&str; 6] = [
+    "cycles",
+    "warmup",
+    "seed",
+    "resubmission",
+    "trace_summary",
+    "replications",
+];
 /// Extra key accepted by `/v1/degraded`.
 const DEGRADED_KEYS: [&str; 1] = ["failed_buses"];
 
@@ -483,19 +496,36 @@ pub fn parse_query(
         if cycles == 0 {
             return Err(ApiError::bad_request("`cycles` must be positive"));
         }
-        let total = cycles.saturating_add(warmup);
+        let replications = field_usize(body, "replications", 1)?;
+        if replications == 0 {
+            return Err(ApiError::bad_request("`replications` must be positive"));
+        }
+        // The cycle budget covers the *whole* request: every replication
+        // pays its own warmup, so the cap scales with the count.
+        let total = cycles.saturating_add(warmup).saturating_mul(replications as u64);
         if total > limits.max_cycles {
             return Err(ApiError::too_large(format!(
-                "cycles + warmup = {total} exceeds the service budget of {}",
+                "(cycles + warmup) x replications = {total} exceeds the service budget of {}",
                 limits.max_cycles
             )));
+        }
+        let trace_summary = field_bool(body, "trace_summary", false)?;
+        if trace_summary && replications > 1 {
+            // Tracing pins the scalar engine (one deterministic event
+            // stream); replicated runs batch lanes. Refuse the combination
+            // instead of silently tracing one replication.
+            return Err(ApiError::unsupported(
+                "`trace_summary` requires a single replication: trace capture runs the \
+                 scalar engine, replications run the batched engine",
+            ));
         }
         SimParams {
             cycles,
             warmup,
             seed: field_u64(body, "seed", 0)?,
             resubmission: field_bool(body, "resubmission", false)?,
-            trace_summary: field_bool(body, "trace_summary", false)?,
+            replications,
+            trace_summary,
         }
     } else {
         SimParams {
@@ -503,6 +533,7 @@ pub fn parse_query(
             warmup: 0,
             seed: 0,
             resubmission: false,
+            replications: 1,
             trace_summary: false,
         }
     };
@@ -633,6 +664,35 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
                 .with_warmup(query.sim.warmup)
                 .with_seed(query.sim.seed)
                 .with_resubmission(query.sim.resubmission);
+            if query.sim.replications > 1 {
+                // parse_query rejected trace_summary + replications, so
+                // this arm never traces: the runner is free to batch.
+                let report = query
+                    .system
+                    .simulate_replicated(&config, query.sim.replications)
+                    .map_err(|e| ApiError::unsupported(e.to_string()))?;
+                let per_replication: Vec<Json> = report
+                    .reports
+                    .iter()
+                    .map(|r| Json::Num(r.bandwidth.mean()))
+                    .collect();
+                return Ok(obj(vec![
+                    ("bandwidth_mean", Json::Num(report.bandwidth.mean())),
+                    (
+                        "bandwidth_half_width",
+                        Json::Num(report.bandwidth.half_width()),
+                    ),
+                    ("confidence_level", Json::Num(report.bandwidth.level())),
+                    ("acceptance", Json::Num(report.acceptance)),
+                    ("replications", Json::Num(report.replications as f64)),
+                    ("engine", Json::Str(report.engine.to_owned())),
+                    ("cycles", Json::Num(query.sim.cycles as f64)),
+                    ("warmup", Json::Num(query.sim.warmup as f64)),
+                    ("seed", Json::Num(query.sim.seed as f64)),
+                    ("resubmission", Json::Bool(query.sim.resubmission)),
+                    ("per_replication_bandwidth", Json::Arr(per_replication)),
+                ]));
+            }
             let (report, trace) = if query.sim.trace_summary {
                 let (report, bytes) = query
                     .system
@@ -921,6 +981,62 @@ mod tests {
         .key();
         let k_traced = parse(Endpoint::Simulate, body).unwrap().key();
         assert_ne!(k_plain, k_traced, "trace_summary is part of the key");
+    }
+
+    #[test]
+    fn replicated_simulate_aggregates_and_reports_engine() {
+        let body = r#"{"cycles": 2000, "seed": 7, "replications": 4}"#;
+        let result = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
+        assert_eq!(result.get("replications").unwrap().as_usize(), Some(4));
+        assert_eq!(result.get("engine").unwrap().as_str(), Some("batched"));
+        let per_rep = match result.get("per_replication_bandwidth").unwrap() {
+            Json::Arr(items) => items.clone(),
+            other => panic!("per_replication_bandwidth not an array: {other:?}"),
+        };
+        assert_eq!(per_rep.len(), 4);
+        // The aggregate CI center is the mean of the per-replication means.
+        let mean = per_rep.iter().map(|v| v.as_f64().unwrap()).sum::<f64>() / 4.0;
+        let got = result.get("bandwidth_mean").unwrap().as_f64().unwrap();
+        assert!((got - mean).abs() < 1e-12, "{got} vs {mean}");
+        // Replications are deterministic and keyed into the cache.
+        let again = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
+        assert_eq!(result.render(), again.render());
+        let k_single = parse(Endpoint::Simulate, r#"{"cycles": 2000, "seed": 7}"#)
+            .unwrap()
+            .key();
+        let k_replicated = parse(Endpoint::Simulate, body).unwrap().key();
+        assert_ne!(k_single, k_replicated, "replications is part of the key");
+    }
+
+    #[test]
+    fn trace_summary_excludes_replications() {
+        let body = r#"{"cycles": 2000, "replications": 3, "trace_summary": true}"#;
+        let err = parse(Endpoint::Simulate, body).unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unsupported"));
+        assert!(err.message.contains("trace"), "message: {}", err.message);
+        // A single replication may trace: the scalar engine runs anyway.
+        let body = r#"{"cycles": 2000, "replications": 1, "trace_summary": true}"#;
+        let traced = evaluate(&parse(Endpoint::Simulate, body).unwrap()).unwrap();
+        assert!(traced.get("trace").is_some());
+    }
+
+    #[test]
+    fn replications_scale_the_cycle_budget() {
+        // 800k cycles x 3 replications blows the 2M default budget even
+        // though a single replication would fit.
+        let err = parse(
+            Endpoint::Simulate,
+            r#"{"cycles": 800000, "warmup": 0, "replications": 3}"#,
+        )
+        .unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "too_large"));
+        assert!(parse(
+            Endpoint::Simulate,
+            r#"{"cycles": 800000, "warmup": 0, "replications": 2}"#
+        )
+        .is_ok());
+        let err = parse(Endpoint::Simulate, r#"{"replications": 0}"#).unwrap_err();
+        assert_eq!(err.status, 400);
     }
 
     #[test]

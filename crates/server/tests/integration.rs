@@ -93,6 +93,29 @@ fn responses_are_bit_identical_to_direct_library_calls() {
 }
 
 #[test]
+fn replicated_simulate_round_trips_and_rejects_tracing() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    // Replicated runs are served, cached, and bit-identical to a direct
+    // library call (which exercises the batched engine underneath).
+    let body = r#"{"n":8,"b":4,"cycles":3000,"warmup":300,"seed":11,"replications":4}"#;
+    let (status, got) = send(addr, "POST", "/v1/simulate", body);
+    assert_eq!(status, 200, "cold: {got}");
+    assert_eq!(got, expected_body(Endpoint::Simulate, body, false));
+    assert!(got.contains("\"engine\":\"batched\""), "engine tag: {got}");
+    let (status, warm) = send(addr, "POST", "/v1/simulate", body);
+    assert_eq!(status, 200);
+    assert_eq!(warm, expected_body(Endpoint::Simulate, body, true));
+    // trace_summary + replications > 1 is a structured 422, not a trace of
+    // one arbitrary replication.
+    let bad = r#"{"cycles":2000,"replications":2,"trace_summary":true}"#;
+    let (status, body) = send(addr, "POST", "/v1/simulate", bad);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("unsupported"), "{body}");
+    handle.shutdown();
+    join.join().expect("join").expect("clean exit");
+}
+
+#[test]
 fn concurrent_mixed_endpoint_clients_all_succeed() {
     let (addr, handle, join) = start(ServerConfig::default());
     let results: Vec<(u16, String)> = std::thread::scope(|scope| {

@@ -23,7 +23,10 @@
 //!
 //! Statistics come from `mbus-stats`: batch-means confidence intervals for
 //! the bandwidth, exact histograms for per-cycle service counts, and
-//! replicated runs across threads ([`runner`]).
+//! replicated runs across threads ([`runner`]). Replicated runs ride the
+//! [`batched`] SoA engine when the system fits its 64-lane envelope,
+//! packing up to 64 seeds into `u64` words per cycle; traced runs and
+//! single replications always use the scalar engine.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+pub mod batched;
 mod config;
 mod engine;
 mod error;

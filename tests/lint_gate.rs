@@ -148,3 +148,36 @@ fn lint_walk_covers_the_trace_crate() {
         "R2 must include the trace crate"
     );
 }
+
+#[test]
+fn lint_walk_covers_the_scheduler_and_inventories_its_unsafe() {
+    // The work-stealing scheduler is the one module in `mbus-stats` with
+    // `unsafe` and lock-free atomics; R5 (SAFETY comments) and R7
+    // (atomics orderings) are only meaningful if its sources are walked.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = workspace_source_files(root).expect("walker");
+    for module in ["crates/stats/src/deque.rs", "crates/stats/src/parallel.rs"] {
+        assert!(
+            files.iter().any(|(path, _)| path == module),
+            "lint walk must cover {module}"
+        );
+    }
+    // Every deque unsafe site is inventoried with a SAFETY rationale, and
+    // the inventory attributes them to the stats crate.
+    let report = lint_workspace(root).expect("workspace sources must be readable");
+    let deque_sites: Vec<_> = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| s.path == "crates/stats/src/deque.rs")
+        .collect();
+    assert!(
+        !deque_sites.is_empty(),
+        "the Chase–Lev deque's unsafe sites must be inventoried"
+    );
+    assert!(
+        deque_sites
+            .iter()
+            .all(|s| s.crate_name == "stats" && s.rationale.is_some()),
+        "every deque unsafe site carries a SAFETY rationale"
+    );
+}
