@@ -39,8 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fabric;
 mod render;
 
+pub use fabric::{
+    render_fabric_json, render_fabric_markdown, run_fabric_campaign, FabricCampaignReport,
+    FabricFailureLevel,
+};
 pub use render::{render_json, render_markdown};
 
 use mbus_analysis::degraded::{degraded_analyze, DegradedBreakdown};
@@ -74,6 +79,8 @@ pub enum CampaignError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A fabric analytic evaluation failed (uplink-failure campaigns).
+    Fabric(mbus_fabric::FabricError),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -83,6 +90,7 @@ impl std::fmt::Display for CampaignError {
             Self::Sim(err) => write!(f, "simulation error: {err}"),
             Self::BadConfig { reason } => write!(f, "bad campaign config: {reason}"),
             Self::Internal { reason } => write!(f, "internal campaign error: {reason}"),
+            Self::Fabric(err) => write!(f, "fabric error: {err}"),
         }
     }
 }
@@ -92,6 +100,7 @@ impl std::error::Error for CampaignError {
         match self {
             Self::Analysis(err) => Some(err),
             Self::Sim(err) => Some(err),
+            Self::Fabric(err) => Some(err),
             Self::BadConfig { .. } | Self::Internal { .. } => None,
         }
     }
@@ -130,6 +139,15 @@ pub struct CampaignConfig {
     /// equal-`f` mask is equivalent, so each level is evaluated once via a
     /// canonical mask and memoized. Has no effect on asymmetric schemes.
     pub collapse_symmetry: bool,
+}
+
+impl CampaignConfig {
+    /// The failure probability read as a per-**uplink** probability by the
+    /// fabric campaign (same knob as [`CampaignConfig::bus_failure_prob`]:
+    /// one field, interpreted against whichever resource pool is swept).
+    pub fn uplink_failure_prob(&self) -> f64 {
+        self.bus_failure_prob
+    }
 }
 
 impl Default for CampaignConfig {

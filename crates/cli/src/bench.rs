@@ -1,6 +1,6 @@
 //! `mbus bench` — the workspace throughput harness.
 //!
-//! Four measurements, reported to stdout and written as JSON:
+//! Five measurements, reported to stdout and written as JSON:
 //!
 //! 1. **Engine throughput**: simulated cycles/sec of the optimized
 //!    [`Simulator`] against the frozen pre-optimization
@@ -23,7 +23,13 @@
 //!    sampling specs, so the gate is statistical agreement of the mean
 //!    bandwidth, plus bit-exact determinism of the batched reports
 //!    across worker counts.
-//! 4. **Exact engines** (`--exact` runs only this section): the
+//! 4. **Fabric** (`--fabric` runs only this section): routed fabric
+//!    simulator cycles/sec at tree depths 2 and 3 against the flat engine
+//!    on each fabric's flattened equivalent network, with the analytic
+//!    decomposition's bandwidth gap per depth; plus batched replications
+//!    under full vs aggregate-only collection (`CollectMode`) — the cost
+//!    of per-grant accounting when only scalar summaries are wanted.
+//! 5. **Exact engines** (`--exact` runs only this section): the
 //!    subset-transform requested-set pmf against the retained
 //!    per-processor DP on a 256×16 hierarchical workload (identical
 //!    results, `O(G·2^M + 2^M·M)` vs `O(N·2^M·M)` work), and the lumped
@@ -297,6 +303,149 @@ fn scaling_benchmark(
     })
 }
 
+struct FabricBenchEntry {
+    shape: String,
+    links: usize,
+    /// Cycles per run (including warmup).
+    total_cycles: u64,
+    /// Routed fabric simulator, cycles/sec.
+    fabric_cps: f64,
+    /// Flat [`Simulator`] on the flattened equivalent network, cycles/sec.
+    flat_cps: f64,
+    /// Analytic decomposition bandwidth.
+    analytic_bw: f64,
+    /// Simulated mean bandwidth.
+    sim_bw: f64,
+}
+
+impl FabricBenchEntry {
+    /// `|analytic − sim| / sim`: the cross-validation gap.
+    fn rel_gap(&self) -> f64 {
+        if self.sim_bw == 0.0 {
+            0.0
+        } else {
+            (self.analytic_bw - self.sim_bw).abs() / self.sim_bw
+        }
+    }
+}
+
+/// Times the routed fabric simulator at depths 2 and 3 against the flat
+/// engine on each fabric's flattened equivalent network (same processors,
+/// same workload, all local buses pooled), and records the analytic
+/// decomposition's bandwidth gap at each depth.
+fn fabric_benchmark(
+    cycles: u64,
+    seed: u64,
+    reps: usize,
+) -> Result<Vec<FabricBenchEntry>, String> {
+    use mbus_core::fabric::{analyze_fabric, FabricSimulator, FabricSpec, FabricTopology};
+    const RATE: f64 = 0.5;
+    const LOCALITY: f64 = 0.6;
+    let mut entries = Vec::new();
+    for ks in [vec![4usize, 4], vec![4, 2, 2]] {
+        let spec = FabricSpec {
+            ks: ks.clone(),
+            local_buses: 2,
+            uplink_width: 1,
+            locality: LOCALITY,
+        };
+        let (topo, matrix) = spec.build().map_err(|e| e.to_string())?;
+        let config = SimConfig::new(cycles).with_warmup(cycles / 10).with_seed(seed);
+        let total_cycles = cycles + cycles / 10;
+
+        let mut fabric_sim =
+            FabricSimulator::build(&topo, &matrix, RATE).map_err(|e| e.to_string())?;
+        let report = fabric_sim.run(&config).map_err(|e| e.to_string())?;
+        let analysis = analyze_fabric(&topo, &matrix, RATE, &[]).map_err(|e| e.to_string())?;
+
+        let flat_net = topo.flat_equivalent().map_err(|e| e.to_string())?;
+        let mut flat = Simulator::build(&flat_net, &matrix, RATE).map_err(|e| e.to_string())?;
+        flat.run(&config).map_err(|e| e.to_string())?;
+
+        let (fabric_secs, flat_secs) = best_seconds_interleaved(
+            reps,
+            || {
+                // lint:allow(no_panic, the same run succeeded in the setup pass above; timing closures must stay Result-free)
+                fabric_sim.run(&config).expect("checked above");
+            },
+            || {
+                // lint:allow(no_panic, the same run succeeded in the setup pass above; timing closures must stay Result-free)
+                flat.run(&config).expect("checked above");
+            },
+        );
+        entries.push(FabricBenchEntry {
+            shape: ks
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join("x"),
+            links: topo.links().len(),
+            total_cycles,
+            fabric_cps: total_cycles as f64 / fabric_secs,
+            flat_cps: total_cycles as f64 / flat_secs,
+            analytic_bw: analysis.bandwidth,
+            sim_bw: report.bandwidth.mean(),
+        });
+    }
+    Ok(entries)
+}
+
+struct CollectResult {
+    replications: usize,
+    /// Batched engine with full per-unit accounting, replications/sec.
+    full_rps: f64,
+    /// Batched engine with aggregate-only collection, replications/sec.
+    aggregate_rps: f64,
+}
+
+/// Times batched replications with full per-unit accounting against
+/// aggregate-only collection ([`CollectMode::Aggregate`]) — the residue the
+/// per-grant accumulation costs when only the scalar summary is wanted.
+fn collect_benchmark(
+    n: usize,
+    b: usize,
+    cycles: u64,
+    seed: u64,
+    replications: usize,
+    reps: usize,
+) -> Result<CollectResult, String> {
+    use mbus_core::sim::CollectMode;
+    let net = BusNetwork::new(n, n, b, ConnectionScheme::Full).map_err(|e| e.to_string())?;
+    let matrix = paper_params::hierarchical(n)
+        .map_err(|e| e.to_string())?
+        .matrix();
+    let full_config = SimConfig::new(cycles).with_warmup(cycles / 20).with_seed(seed);
+    let agg_config = full_config.clone().with_collect(CollectMode::Aggregate);
+
+    // Gate: aggregate collection must not change any scalar of any report.
+    let full = run_replications_with_workers(&net, &matrix, 1.0, &full_config, replications, 1)
+        .map_err(|e| e.to_string())?;
+    let agg = run_replications_with_workers(&net, &matrix, 1.0, &agg_config, replications, 1)
+        .map_err(|e| e.to_string())?;
+    if full.bandwidth != agg.bandwidth {
+        return Err("aggregate collection changed the bandwidth — benchmark void".into());
+    }
+
+    let (full_secs, agg_secs) = best_seconds_interleaved(
+        reps,
+        || {
+            run_replications_with_workers(&net, &matrix, 1.0, &full_config, replications, 1)
+                // lint:allow(no_panic, the same run succeeded in the agreement gate above; timing closures must stay Result-free)
+                .expect("checked above");
+        },
+        || {
+            run_replications_with_workers(&net, &matrix, 1.0, &agg_config, replications, 1)
+                // lint:allow(no_panic, the same run succeeded in the agreement gate above; timing closures must stay Result-free)
+                .expect("checked above");
+        },
+    );
+    Ok(CollectResult {
+        replications,
+        full_rps: replications as f64 / full_secs,
+        aggregate_rps: replications as f64 / agg_secs,
+    })
+}
+
 struct ExactResult {
     n: usize,
     m: usize,
@@ -464,6 +613,54 @@ fn scaling_json(n: usize, b: usize, seed: u64, scaling: &ScalingResult) -> Strin
     )
 }
 
+/// The `"fabric"` JSON section: one entry per tree depth plus the
+/// collect-mode comparison.
+fn fabric_json(
+    cycles: u64,
+    seed: u64,
+    entries: &[FabricBenchEntry],
+    collect: &CollectResult,
+) -> String {
+    let depths = entries
+        .iter()
+        .map(|entry| {
+            format!(
+                "      {{ \"shape\": \"{shape}\", \"links\": {links}, \
+                 \"total_cycles_per_run\": {total}, \
+                 \"fabric_cycles_per_sec\": {fcps:.1}, \
+                 \"flat_cycles_per_sec\": {xcps:.1}, \
+                 \"routing_cost\": {cost:.3}, \
+                 \"analytic_bandwidth\": {abw:.6}, \
+                 \"sim_bandwidth\": {sbw:.6}, \
+                 \"rel_gap\": {gap:.6} }}",
+                shape = entry.shape,
+                links = entry.links,
+                total = entry.total_cycles,
+                fcps = entry.fabric_cps,
+                xcps = entry.flat_cps,
+                cost = entry.flat_cps / entry.fabric_cps,
+                abw = entry.analytic_bw,
+                sbw = entry.sim_bw,
+                gap = entry.rel_gap(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "  \"fabric\": {{\n    \"locality\": 0.6,\n    \"rate\": 0.5,\n    \
+         \"cycles\": {cycles},\n    \"seed\": {seed},\n    \
+         \"depths\": [\n{depths}\n    ],\n    \
+         \"collect\": {{ \"replications\": {creps}, \
+         \"full_replications_per_sec\": {frps:.2}, \
+         \"aggregate_replications_per_sec\": {arps:.2}, \
+         \"speedup\": {cspeed:.3} }}\n  }}",
+        creps = collect.replications,
+        frps = collect.full_rps,
+        arps = collect.aggregate_rps,
+        cspeed = collect.aggregate_rps / collect.full_rps,
+    )
+}
+
 /// The `"exact"` JSON section.
 fn exact_json(exact: &ExactResult) -> String {
     format!(
@@ -522,10 +719,11 @@ pub fn bench(args: &Args) -> Result<(), String> {
     let out = args.get_or("out", "BENCH_sim.json".to_owned())?;
     let exact_only = args.flag("exact");
     let scaling_only = args.flag("scaling");
+    let fabric_only = args.flag("fabric");
 
     let mut sections = Vec::new();
 
-    if !exact_only && !scaling_only {
+    if !exact_only && !scaling_only && !fabric_only {
         println!("engine: {n}x{n}x{b} full, hierarchical, r = 1.0, resubmission, {cycles} cycles");
         let engine = engine_benchmark(n, b, cycles, seed, reps)?;
         println!(
@@ -554,6 +752,42 @@ pub fn bench(args: &Args) -> Result<(), String> {
             ),
         }
         sections.push(sweep_json(sweep_n, &sweep));
+    }
+
+    if fabric_only || (!exact_only && !scaling_only) {
+        println!(
+            "\nfabric: routed sim vs flat equivalent at depths 2 and 3, \
+             locality 0.6, r = 0.5, {scaling_cycles} cycles"
+        );
+        let entries = fabric_benchmark(scaling_cycles, seed, reps)?;
+        for entry in &entries {
+            println!(
+                "  {:<6} {:>12.0} cycles/sec routed, {:>12.0} flat ({:.2}x routing cost), \
+                 analytic {:.4} vs sim {:.4} ({:.1}% gap)",
+                entry.shape,
+                entry.fabric_cps,
+                entry.flat_cps,
+                entry.flat_cps / entry.fabric_cps,
+                entry.analytic_bw,
+                entry.sim_bw,
+                100.0 * entry.rel_gap(),
+            );
+        }
+        let collect = collect_benchmark(8, 4, scaling_cycles, seed, replications, reps)?;
+        println!(
+            "  collect:   {:>12.1} replications/sec full, {:>12.1} aggregate ({:.2}x)",
+            collect.full_rps,
+            collect.aggregate_rps,
+            collect.aggregate_rps / collect.full_rps
+        );
+        sections.push(fabric_json(scaling_cycles, seed, &entries, &collect));
+    }
+
+    if fabric_only {
+        let json = render_json(&sections);
+        std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("\nwrote {out}");
+        return Ok(());
     }
 
     if !exact_only {

@@ -7,6 +7,7 @@
 mod args;
 mod bench;
 mod commands;
+mod fabric_cmd;
 mod serve;
 mod trace_cmd;
 
@@ -44,6 +45,19 @@ COMMANDS:
                           delay quantiles, and the bottleneck ranking;
                           vcd FILE [--out FILE.vcd] exports a waveform
                           dump for GTKWave-style viewers
+    fabric                hierarchical cluster-of-buses fabric: analytic
+                          decomposition vs routed multi-hop simulation
+                          [--ks 4,4] [--buses 2] [--uplink 1] [--rate 0.5]
+                          [--locality 0.6] [--cycles 20000  0 = analytic
+                          only] [--warmup c/10] [--seed 42]
+                          [--failed link[,link...]  fail links all run]
+                          [--trace FILE] [--json];
+                          --sweep grids tree depth (from --n, --max-depth)
+                          x locality [--localities 0.9,0.6,0.3,0.0];
+                          --campaign sweeps uplink-failure combos through
+                          the analytic model (availability-weighted E[BW],
+                          per-cluster decay) [--max-failures f]
+                          [--samples 512] [--limit 5000] [--q 0.05]
     faults                degraded-mode fault campaign: evaluates analytical
                           bandwidth over C(B,f) bus-failure combos
                           (exhaustive or Monte-Carlo past --limit) for the
@@ -66,6 +80,8 @@ COMMANDS:
                           scalar replication throughput with a per-worker
                           scaling curve, and the exact engines (subset
                           transform vs DP, lumped Markov);
+                          and the fabric routed-vs-flat comparison at
+                          depths 2-3 with collect-mode overhead;
                           writes BENCH_sim.json
                           [--n 32] [--b 8] [--cycles 200000] [--seed 42]
                           [--reps 5] [--sweep-n 64] [--replications 64]
@@ -73,8 +89,9 @@ COMMANDS:
                           [--exact  run only the exact-engine section]
                           [--scaling  run only the replication-scaling
                           section]
+                          [--fabric  run only the fabric section]
     serve                 run the bandwidth-query HTTP service:
-                          POST /v1/{bandwidth,exact,simulate,degraded},
+                          POST /v1/{bandwidth,exact,simulate,degraded,fabric},
                           GET /metrics; graceful drain on SIGTERM/ctrl-c
                           [--addr 127.0.0.1:7700] [--workers cores]
                           [--cache-cap 256] [--queue-cap 64]
@@ -93,6 +110,8 @@ EXAMPLES:
     mbus analyze --scheme kclass --n 16 --b 8 --rate 0.5
     mbus simulate --scheme full --n 8 --b 4 --cycles 100000 --fail 2@50000
     mbus simulate --scheme single --n 16 --b 4 --trace run.mbt
+    mbus fabric --ks 4,4 --buses 2 --locality 0.6 --rate 0.5
+    mbus fabric --sweep --n 16 --cycles 10000 --json
     mbus trace analyze run.mbt --json
     mbus faults --scheme kclass --n 8 --b 4 --check
     mbus lint --json
@@ -117,6 +136,7 @@ fn main() -> ExitCode {
         "validate" => commands::validate(&args),
         "lint" => commands::lint(&args),
         "experiments" => commands::experiments(),
+        "fabric" => fabric_cmd::fabric(&args),
         "trace" => trace_cmd::trace(&args),
         "bench" => bench::bench(&args),
         "serve" => serve::serve(&args),

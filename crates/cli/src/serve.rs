@@ -40,7 +40,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         "mbus serve: listening on {addr} ({} workers, queue {}, cache {} entries)",
         config.workers, config.queue_capacity, config.cache_capacity
     );
-    println!("endpoints: POST /v1/{{bandwidth,exact,simulate,degraded}}, GET /metrics");
+    println!("endpoints: POST /v1/{{bandwidth,exact,simulate,degraded,fabric}}, GET /metrics");
     if signal::install() {
         println!("stop with SIGTERM or ctrl-c (graceful drain)");
     } else {

@@ -77,6 +77,7 @@ pub mod prelude {
 pub use mbus_analysis as analysis;
 pub use mbus_campaign as campaign;
 pub use mbus_exact as exact;
+pub use mbus_fabric as fabric;
 pub use mbus_sim as sim;
 pub use mbus_stats as stats;
 pub use mbus_topology as topology;

@@ -165,8 +165,8 @@ pub const LOSSY_CAST_CRATES: [&str; 6] = ["sim", "core", "stats", "topology", "s
 /// Crates R3 applies to.
 pub const EQ_DOC_CRATES: [&str; 2] = ["analysis", "exact"];
 
-/// The seven formula modules R4 applies to.
-pub const FORMULA_MODULES: [&str; 7] = [
+/// The eight formula modules R4 applies to.
+pub const FORMULA_MODULES: [&str; 8] = [
     "crates/analysis/src/bandwidth.rs",
     "crates/analysis/src/degraded.rs",
     "crates/analysis/src/paper.rs",
@@ -174,6 +174,7 @@ pub const FORMULA_MODULES: [&str; 7] = [
     "crates/exact/src/lumped.rs",
     "crates/exact/src/markov.rs",
     "crates/exact/src/transform.rs",
+    "crates/fabric/src/analytic.rs",
 ];
 
 /// R1 applies to every workspace crate (the CLI included — its command

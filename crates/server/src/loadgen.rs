@@ -212,14 +212,28 @@ impl LoadReport {
 
 /// The deterministic query grid: request `i` of any pass always carries
 /// the same body to the same endpoint, so later passes re-hit the same
-/// cache keys. Mixes all four endpoints over 8 parameter variants (two
-/// network sizes × four request rates) — 32 distinct cache keys, so a
+/// cache keys. Mixes every endpoint over 8 parameter variants (two
+/// network sizes × four request rates) — 40 distinct cache keys, so a
 /// short first pass is genuinely cold.
 pub fn grid_request(i: usize) -> (Endpoint, String) {
     let endpoint = Endpoint::ALL[i % Endpoint::ALL.len()];
     let variant = (i / Endpoint::ALL.len()) % 8;
     let n = [8.0, 16.0][variant / 4];
     let rate = [1.0, 0.75, 0.5, 0.25][variant % 4];
+    if endpoint == Endpoint::Fabric {
+        // Fabric speaks its own key set (a cluster tree, not n x m x b);
+        // mirror the two network sizes as leaf counts.
+        let fields = vec![
+            (
+                "ks",
+                Json::Arr(vec![Json::Num(n / 4.0), Json::Num(4.0)]),
+            ),
+            ("rate", Json::Num(rate)),
+            ("cycles", Json::Num(4_000.0)),
+            ("seed", Json::Num(7.0)),
+        ];
+        return (endpoint, obj(fields).render());
+    }
     let mut fields = vec![
         ("n", Json::Num(n)),
         ("b", Json::Num(4.0)),
@@ -237,7 +251,7 @@ pub fn grid_request(i: usize) -> (Endpoint, String) {
                 Json::Arr(vec![Json::Num((variant % 4) as f64)]),
             ));
         }
-        Endpoint::Bandwidth | Endpoint::Exact => {}
+        Endpoint::Bandwidth | Endpoint::Exact | Endpoint::Fabric => {}
     }
     (endpoint, obj(fields).render())
 }
@@ -360,12 +374,13 @@ mod tests {
         assert_eq!(grid_request(1).0, Endpoint::Exact);
         assert_eq!(grid_request(2).0, Endpoint::Simulate);
         assert_eq!(grid_request(3).0, Endpoint::Degraded);
-        // Variants change the rate then the size, repeating with period 32.
-        assert_ne!(grid_request(0).1, grid_request(4).1);
-        assert_ne!(grid_request(0).1, grid_request(16).1, "n differs");
-        assert_eq!(grid_request(0).1, grid_request(32).1);
+        assert_eq!(grid_request(4).0, Endpoint::Fabric);
+        // Variants change the rate then the size, repeating with period 40.
+        assert_ne!(grid_request(0).1, grid_request(5).1);
+        assert_ne!(grid_request(0).1, grid_request(20).1, "n differs");
+        assert_eq!(grid_request(0).1, grid_request(40).1);
         // Every body parses and targets known fields.
-        for i in 0..32 {
+        for i in 0..40 {
             let (_endpoint, body) = grid_request(i);
             assert!(crate::json::parse(&body).is_ok(), "grid body {i} parses");
         }

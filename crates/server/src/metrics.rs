@@ -41,7 +41,7 @@ pub struct Metrics {
     responses_5xx: AtomicU64,
     workers: AtomicU64,
     busy_workers: AtomicU64,
-    per_endpoint: [EndpointMetrics; 4],
+    per_endpoint: [EndpointMetrics; 5],
 }
 
 impl Metrics {

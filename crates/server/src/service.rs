@@ -1,6 +1,6 @@
 //! Endpoint dispatch: JSON bodies in, engine results out.
 //!
-//! The four query endpoints mirror the `mbus` CLI surface one-to-one —
+//! The query endpoints mirror the `mbus` CLI surface one-to-one —
 //! identical field names, identical defaults — so a `curl` body and a CLI
 //! invocation describe the same experiment:
 //!
@@ -10,6 +10,7 @@
 //! | `POST /v1/exact` | subset-transform / closed-form exact (`System::exact`) |
 //! | `POST /v1/simulate` | bounded-cycle simulation (`System::simulate`, or `System::simulate_replicated` with `replications > 1`) |
 //! | `POST /v1/degraded` | fault-mask analysis (`degraded_analyze`) |
+//! | `POST /v1/fabric` | hierarchical fabric decomposition (`analyze_fabric`), optionally cross-checked by the routed `FabricSimulator` |
 //!
 //! Parsing is strict: unknown fields are rejected (a typoed `cylces` must
 //! not silently simulate the default budget), every dimension and the cycle
@@ -26,10 +27,14 @@
 //! [`MemoCache`]: mbus_stats::cache::MemoCache
 
 use crate::json::{self, obj, Json};
+use mbus_core::fabric::{
+    analyze_fabric, ClusteredBuses, FabricSimulator, FabricSpec, FabricTopology,
+};
 use mbus_core::prelude::{
     degraded_analyze, ConnectionScheme, FaultMask, FavoriteModel, HierarchicalModel,
     RequestMatrix, RequestModel, SimConfig, System, UniformModel,
 };
+use mbus_core::sim::{FaultEvent, FaultEventKind, FaultSchedule};
 use mbus_core::workload::WorkloadFingerprint;
 
 /// Caps protecting the service from abusive (or typoed) workloads.
@@ -50,7 +55,7 @@ impl Default for ServiceLimits {
     }
 }
 
-/// The four query endpoints.
+/// The five query endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// `POST /v1/bandwidth` — closed-form analytical breakdown.
@@ -61,6 +66,9 @@ pub enum Endpoint {
     Simulate,
     /// `POST /v1/degraded` — degraded-mode analysis under a bus fault mask.
     Degraded,
+    /// `POST /v1/fabric` — hierarchical cluster-of-buses fabric: analytic
+    /// decomposition, optionally cross-checked by the routed simulator.
+    Fabric,
 }
 
 impl Endpoint {
@@ -71,6 +79,7 @@ impl Endpoint {
             "/v1/exact" => Some(Endpoint::Exact),
             "/v1/simulate" => Some(Endpoint::Simulate),
             "/v1/degraded" => Some(Endpoint::Degraded),
+            "/v1/fabric" => Some(Endpoint::Fabric),
             _ => None,
         }
     }
@@ -82,15 +91,17 @@ impl Endpoint {
             Endpoint::Exact => "exact",
             Endpoint::Simulate => "simulate",
             Endpoint::Degraded => "degraded",
+            Endpoint::Fabric => "fabric",
         }
     }
 
     /// All endpoints, in dispatch order.
-    pub const ALL: [Endpoint; 4] = [
+    pub const ALL: [Endpoint; 5] = [
         Endpoint::Bandwidth,
         Endpoint::Exact,
         Endpoint::Simulate,
         Endpoint::Degraded,
+        Endpoint::Fabric,
     ];
 
     /// Index into per-endpoint arrays (metrics slots).
@@ -104,6 +115,7 @@ impl Endpoint {
             Endpoint::Exact => 1,
             Endpoint::Simulate => 2,
             Endpoint::Degraded => 3,
+            Endpoint::Fabric => 4,
         }
     }
 }
@@ -195,11 +207,33 @@ pub struct SimParams {
     pub trace_summary: bool,
 }
 
+/// What a query evaluates against: a flat single-stage system or a
+/// routed cluster-of-buses fabric.
+#[derive(Debug)]
+enum Payload {
+    /// The four original endpoints: one flat `BusNetwork` + workload.
+    Flat(System),
+    /// `/v1/fabric`: the clustered topology, its matching hierarchical
+    /// workload, and the spec that produced both.
+    Fabric(FabricQuery),
+}
+
+/// A parsed `/v1/fabric` request.
+#[derive(Debug)]
+struct FabricQuery {
+    spec: FabricSpec,
+    topo: ClusteredBuses,
+    matrix: RequestMatrix,
+    /// Links failed for the whole run (analytic `failed_links`, and a
+    /// cycle-0 fault schedule for the simulator).
+    failed_links: Vec<usize>,
+}
+
 /// A validated, evaluatable query.
 #[derive(Debug)]
 pub struct Query {
     endpoint: Endpoint,
-    system: System,
+    payload: Payload,
     rate: f64,
     sim: SimParams,
     failed_buses: Vec<usize>,
@@ -271,6 +305,30 @@ fn encode_network(net: &mbus_core::topology::BusNetwork) -> Vec<u64> {
     key
 }
 
+/// Network-section tag for fabric keys. Flat encodings start with
+/// `n ≥ 1`, so leading with 0 keeps fabric keys disjoint from every
+/// flat network encoding.
+const KEY_FABRIC: u64 = 0;
+
+/// Encodes a fabric's identity: `[0, depth, ks…, local_buses,
+/// uplink_width, |failed|, failed…]`. The locality knob lives in the
+/// workload fingerprint (it only shapes the request matrix).
+fn encode_fabric(fabric: &FabricQuery) -> Vec<u64> {
+    let mut key = vec![KEY_FABRIC, fabric.spec.ks.len() as u64];
+    key.extend(fabric.spec.ks.iter().map(|&k| k as u64));
+    key.push(fabric.spec.local_buses as u64);
+    key.push(fabric.spec.uplink_width as u64);
+    let mut failed: Vec<u64> = fabric
+        .failed_links
+        .iter()
+        .map(|&link| u64::try_from(link).unwrap_or(u64::MAX))
+        .collect();
+    failed.sort_unstable();
+    key.push(failed.len() as u64);
+    key.extend(failed);
+    key
+}
+
 impl Query {
     /// Which endpoint this query targets.
     pub fn endpoint(&self) -> Endpoint {
@@ -298,11 +356,21 @@ impl Query {
                 buses.sort_unstable();
                 buses
             }
+            // Failed links sit in the network section (they define which
+            // fabric is being analyzed); only the sim budget is extra.
+            Endpoint::Fabric => vec![self.sim.cycles, self.sim.warmup, self.sim.seed],
+        };
+        let (network, workload) = match &self.payload {
+            Payload::Flat(system) => (
+                encode_network(system.network()),
+                system.matrix().fingerprint(),
+            ),
+            Payload::Fabric(fabric) => (encode_fabric(fabric), fabric.matrix.fingerprint()),
         };
         QueryKey {
             endpoint: self.endpoint.discriminant(),
-            network: encode_network(self.system.network()),
-            workload: self.system.matrix().fingerprint(),
+            network,
+            workload,
             rate_bits: self.rate.to_bits(),
             extra,
         }
@@ -339,6 +407,19 @@ const SIM_KEYS: [&str; 6] = [
 ];
 /// Extra key accepted by `/v1/degraded`.
 const DEGRADED_KEYS: [&str; 1] = ["failed_buses"];
+/// The strict key set of `/v1/fabric` (it shares nothing with the flat
+/// endpoints: the topology is a cluster tree, not an `n x m x b` grid).
+const FABRIC_KEYS: [&str; 9] = [
+    "ks",
+    "buses",
+    "uplink",
+    "rate",
+    "locality",
+    "cycles",
+    "warmup",
+    "seed",
+    "failed_links",
+];
 
 fn field_usize(body: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
     match body.get(key) {
@@ -455,15 +536,22 @@ pub fn parse_query(
         _ => return Err(ApiError::bad_request("body must be a JSON object")),
     };
     for (key, _) in fields {
-        let known = COMMON_KEYS.contains(&key.as_str())
-            || (endpoint == Endpoint::Simulate && SIM_KEYS.contains(&key.as_str()))
-            || (endpoint == Endpoint::Degraded && DEGRADED_KEYS.contains(&key.as_str()));
+        let known = if endpoint == Endpoint::Fabric {
+            FABRIC_KEYS.contains(&key.as_str())
+        } else {
+            COMMON_KEYS.contains(&key.as_str())
+                || (endpoint == Endpoint::Simulate && SIM_KEYS.contains(&key.as_str()))
+                || (endpoint == Endpoint::Degraded && DEGRADED_KEYS.contains(&key.as_str()))
+        };
         if !known {
             return Err(ApiError::bad_request(format!(
                 "unknown field `{key}` for /v1/{}",
                 endpoint.name()
             )));
         }
+    }
+    if endpoint == Endpoint::Fabric {
+        return parse_fabric_query(body, limits);
     }
 
     let n = field_usize(body, "n", 8)?;
@@ -565,10 +653,106 @@ pub fn parse_query(
 
     Ok(Query {
         endpoint,
-        system,
+        payload: Payload::Flat(system),
         rate,
         sim,
         failed_buses,
+    })
+}
+
+/// Parses a `/v1/fabric` body: cluster-tree shape, link widths, locality
+/// knob, optional sim budget, and whole-run link failures.
+fn parse_fabric_query(body: &Json, limits: &ServiceLimits) -> Result<Query, ApiError> {
+    let ks = match body.get("ks") {
+        None | Some(Json::Null) => vec![4, 4],
+        Some(Json::Arr(items)) => {
+            let mut ks = Vec::with_capacity(items.len());
+            for item in items {
+                ks.push(item.as_usize().ok_or_else(|| {
+                    ApiError::bad_request("`ks` entries must be branching factors")
+                })?);
+            }
+            ks
+        }
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "`ks` must be an array of branching factors",
+            ))
+        }
+    };
+    let processors: usize = ks.iter().product();
+    if processors > limits.max_dimension {
+        return Err(ApiError::too_large(format!(
+            "fabric with {} processors exceeds the service limit of {}",
+            processors, limits.max_dimension
+        )));
+    }
+    let rate = field_f64(body, "rate", 0.5)?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(ApiError::bad_request(
+            "`rate` must be a probability in [0, 1]",
+        ));
+    }
+    let spec = FabricSpec {
+        ks,
+        local_buses: field_usize(body, "buses", 2)?,
+        uplink_width: field_usize(body, "uplink", 1)?,
+        locality: field_f64(body, "locality", 0.6)?,
+    };
+    let (topo, matrix) = spec
+        .build()
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let failed_links = match body.get("failed_links") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => {
+            let mut links = Vec::with_capacity(items.len());
+            for item in items {
+                let link = item.as_usize().ok_or_else(|| {
+                    ApiError::bad_request("`failed_links` entries must be link indices")
+                })?;
+                if link >= topo.links().len() {
+                    return Err(ApiError::bad_request(format!(
+                        "failed link {link} is out of range for a fabric with {} links",
+                        topo.links().len()
+                    )));
+                }
+                links.push(link);
+            }
+            links
+        }
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "`failed_links` must be an array of link indices",
+            ))
+        }
+    };
+    // `cycles: 0` is meaningful here — analytic decomposition only.
+    let cycles = field_u64(body, "cycles", 20_000)?;
+    let warmup = field_u64(body, "warmup", cycles / 10)?;
+    if cycles.saturating_add(warmup) > limits.max_cycles {
+        return Err(ApiError::too_large(format!(
+            "cycles + warmup exceeds the service budget of {}",
+            limits.max_cycles
+        )));
+    }
+    Ok(Query {
+        endpoint: Endpoint::Fabric,
+        payload: Payload::Fabric(FabricQuery {
+            spec,
+            topo,
+            matrix,
+            failed_links,
+        }),
+        rate,
+        sim: SimParams {
+            cycles,
+            warmup,
+            seed: field_u64(body, "seed", 42)?,
+            resubmission: false,
+            replications: 1,
+            trace_summary: false,
+        },
+        failed_buses: Vec::new(),
     })
 }
 
@@ -625,10 +809,13 @@ fn trace_summary_json(analysis: &mbus_core::trace::TraceAnalysis) -> Json {
 /// [`ApiError`] (status 422) when an engine cannot evaluate the query —
 /// e.g. exact enumeration beyond the memory limit.
 pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
+    let system = match &query.payload {
+        Payload::Flat(system) => system,
+        Payload::Fabric(fabric) => return evaluate_fabric(query, fabric),
+    };
     match query.endpoint {
         Endpoint::Bandwidth => {
-            let breakdown = query
-                .system
+            let breakdown = system
                 .analytic()
                 .map_err(|e| ApiError::unsupported(e.to_string()))?;
             let per_bus = match &breakdown.per_bus_busy {
@@ -643,11 +830,10 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
             ]))
         }
         Endpoint::Exact => {
-            let bandwidth = query
-                .system
+            let bandwidth = system
                 .exact()
                 .map_err(|e| ApiError::unsupported(e.to_string()))?;
-            let method = if query.system.network().memories()
+            let method = if system.network().memories()
                 <= mbus_core::exact::enumerate::MAX_MEMORIES
             {
                 "enumeration"
@@ -667,8 +853,7 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
             if query.sim.replications > 1 {
                 // parse_query rejected trace_summary + replications, so
                 // this arm never traces: the runner is free to batch.
-                let report = query
-                    .system
+                let report = system
                     .simulate_replicated(&config, query.sim.replications)
                     .map_err(|e| ApiError::unsupported(e.to_string()))?;
                 let per_replication: Vec<Json> = report
@@ -694,8 +879,7 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
                 ]));
             }
             let (report, trace) = if query.sim.trace_summary {
-                let (report, bytes) = query
-                    .system
+                let (report, bytes) = system
                     .simulate_traced(&config, Vec::new())
                     .map_err(|e| ApiError::unsupported(e.to_string()))?;
                 let mut reader = mbus_core::trace::TraceReader::new(bytes.as_slice())
@@ -704,8 +888,7 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
                     .map_err(|e| ApiError::unsupported(e.to_string()))?;
                 (report, Some(trace_summary_json(&analysis)))
             } else {
-                let report = query
-                    .system
+                let report = system
                     .simulate(&config)
                     .map_err(|e| ApiError::unsupported(e.to_string()))?;
                 (report, None)
@@ -734,10 +917,10 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
             Ok(obj(fields))
         }
         Endpoint::Degraded => {
-            let net = query.system.network();
+            let net = system.network();
             let mask = FaultMask::with_failures(net.buses(), &query.failed_buses)
                 .map_err(|e| ApiError::bad_request(e.to_string()))?;
-            let breakdown = degraded_analyze(net, query.system.matrix(), query.rate, &mask)
+            let breakdown = degraded_analyze(net, system.matrix(), query.rate, &mask)
                 .map_err(|e| ApiError::unsupported(e.to_string()))?;
             let per_class = match &breakdown.per_class_bandwidth {
                 Some(values) => json::num_array(values),
@@ -761,7 +944,103 @@ pub fn evaluate(query: &Query) -> Result<Json, ApiError> {
                 ("per_class_bandwidth", per_class),
             ]))
         }
+        // parse_query builds fabric queries with a fabric payload, which
+        // the early return above already dispatched.
+        Endpoint::Fabric => Err(ApiError::bad_request(
+            "fabric query carried a flat payload",
+        )),
     }
+}
+
+/// Evaluates a `/v1/fabric` query: the analytic decomposition always,
+/// plus a routed-simulator cross-check when `cycles > 0`.
+fn evaluate_fabric(query: &Query, fabric: &FabricQuery) -> Result<Json, ApiError> {
+    let analysis = analyze_fabric(&fabric.topo, &fabric.matrix, query.rate, &fabric.failed_links)
+        .map_err(|e| ApiError::unsupported(e.to_string()))?;
+    let ks: Vec<Json> = fabric
+        .spec
+        .ks
+        .iter()
+        .map(|&k| Json::Num(k as f64))
+        .collect();
+    let failed: Vec<Json> = fabric
+        .failed_links
+        .iter()
+        .map(|&link| Json::Num(link as f64))
+        .collect();
+    let analytic_utilization: Vec<f64> = analysis
+        .links
+        .iter()
+        .map(|load| load.utilization)
+        .collect();
+    let mut fields = vec![
+        ("ks", Json::Arr(ks)),
+        ("processors", Json::Num(fabric.topo.processors() as f64)),
+        ("links", Json::Num(fabric.topo.links().len() as f64)),
+        ("locality", Json::Num(fabric.spec.locality)),
+        ("failed_links", Json::Arr(failed)),
+        (
+            "analytic",
+            obj(vec![
+                ("bandwidth", Json::Num(analysis.bandwidth)),
+                ("offered_load", Json::Num(analysis.offered_load)),
+                ("acceptance", Json::Num(analysis.acceptance)),
+                ("unreachable_rate", Json::Num(analysis.unreachable_rate)),
+                ("mean_hops", Json::Num(analysis.mean_hops)),
+                ("iterations", Json::Num(analysis.iterations as f64)),
+                ("link_utilization", json::num_array(&analytic_utilization)),
+                (
+                    "cluster_bandwidth",
+                    json::num_array(&analysis.cluster_bandwidth),
+                ),
+            ]),
+        ),
+    ];
+    if query.sim.cycles > 0 {
+        let schedule = FaultSchedule::from_events(
+            fabric
+                .failed_links
+                .iter()
+                .map(|&link| FaultEvent {
+                    cycle: 0,
+                    bus: link,
+                    kind: FaultEventKind::Fail,
+                })
+                .collect(),
+        )
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let config = SimConfig::new(query.sim.cycles)
+            .with_warmup(query.sim.warmup)
+            .with_seed(query.sim.seed)
+            .with_faults(schedule);
+        let mut sim = FabricSimulator::build(&fabric.topo, &fabric.matrix, query.rate)
+            .map_err(|e| ApiError::unsupported(e.to_string()))?;
+        let report = sim
+            .run(&config)
+            .map_err(|e| ApiError::unsupported(e.to_string()))?;
+        fields.push((
+            "simulated",
+            obj(vec![
+                ("cycles", Json::Num(report.cycles as f64)),
+                ("warmup", Json::Num(report.warmup as f64)),
+                ("seed", Json::Num(query.sim.seed as f64)),
+                ("bandwidth_mean", Json::Num(report.bandwidth.mean())),
+                (
+                    "bandwidth_half_width",
+                    Json::Num(report.bandwidth.half_width()),
+                ),
+                ("acceptance", Json::Num(report.acceptance)),
+                ("unreachable_rate", Json::Num(report.unreachable_rate)),
+                ("mean_hops", Json::Num(report.mean_hops)),
+                ("link_utilization", json::num_array(&report.link_utilization)),
+                (
+                    "analytic_gap",
+                    Json::Num(analysis.bandwidth - report.bandwidth.mean()),
+                ),
+            ]),
+        ));
+    }
+    Ok(obj(fields))
 }
 
 #[cfg(test)]
@@ -1037,6 +1316,119 @@ mod tests {
         .is_ok());
         let err = parse(Endpoint::Simulate, r#"{"replications": 0}"#).unwrap_err();
         assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn fabric_endpoint_reconciles_analytic_and_sim() {
+        let body = r#"{"ks": [4, 4], "buses": 2, "locality": 0.6, "rate": 0.5,
+                       "cycles": 4000, "seed": 11}"#;
+        let result = evaluate(&parse(Endpoint::Fabric, body).unwrap()).unwrap();
+        let analytic = result.get("analytic").unwrap();
+        let simulated = result.get("simulated").unwrap();
+        let a = analytic.get("bandwidth").unwrap().as_f64().unwrap();
+        let s = simulated.get("bandwidth_mean").unwrap().as_f64().unwrap();
+        assert!(a > 0.0 && s > 0.0);
+        assert!(
+            (a - s).abs() / s < 0.15,
+            "analytic {a} vs simulated {s} disagree beyond tolerance"
+        );
+        // 4x4 paired fabric: 4 local groups + 4 uplinks.
+        assert_eq!(result.get("links").unwrap().as_usize(), Some(8));
+        let utils = match analytic.get("link_utilization").unwrap() {
+            Json::Arr(items) => items.len(),
+            other => panic!("link_utilization not an array: {other:?}"),
+        };
+        assert_eq!(utils, 8);
+        // Deterministic per seed, like /v1/simulate.
+        let again = evaluate(&parse(Endpoint::Fabric, body).unwrap()).unwrap();
+        assert_eq!(result.render(), again.render());
+    }
+
+    #[test]
+    fn fabric_analytic_only_when_cycles_zero() {
+        let result =
+            evaluate(&parse(Endpoint::Fabric, r#"{"cycles": 0}"#).unwrap()).unwrap();
+        assert!(result.get("analytic").is_some());
+        assert!(result.get("simulated").is_none(), "no sim without cycles");
+    }
+
+    #[test]
+    fn fabric_failed_uplink_degrades_bandwidth() {
+        // Pure-remote traffic (locality 0) puts every request over an uplink,
+        // so failing one genuinely removes throughput. (At higher locality the
+        // drop-on-block model can *raise* total bandwidth: unreachable remote
+        // flows leave the system and local links decongest.)
+        let healthy = evaluate(
+            &parse(Endpoint::Fabric, r#"{"ks": [4, 4], "locality": 0.0, "cycles": 0}"#).unwrap(),
+        )
+        .unwrap();
+        // Links 0..4 are the local groups, 4..8 the uplinks; fail one uplink.
+        let degraded = evaluate(
+            &parse(
+                Endpoint::Fabric,
+                r#"{"ks": [4, 4], "locality": 0.0, "cycles": 0, "failed_links": [4]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let bw = |r: &Json| {
+            r.get("analytic")
+                .unwrap()
+                .get("bandwidth")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert!(bw(&degraded) < bw(&healthy));
+        let unreachable = degraded
+            .get("analytic")
+            .unwrap()
+            .get("unreachable_rate")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(unreachable > 0.0, "cross-uplink traffic is unreachable");
+    }
+
+    #[test]
+    fn fabric_validation_and_keys() {
+        // Flat keys are rejected on the fabric endpoint.
+        let err = parse(Endpoint::Fabric, r#"{"n": 8}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        // Out-of-range failed link.
+        let err = parse(Endpoint::Fabric, r#"{"ks": [4, 4], "failed_links": [99]}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        // Dimension and budget limits hold.
+        let err = parse(Endpoint::Fabric, r#"{"ks": [64, 64]}"#).unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "too_large"));
+        let err = parse(Endpoint::Fabric, r#"{"cycles": 3000000}"#).unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "too_large"));
+        // Cache keys: defaults are stable, every knob separates.
+        let base = parse(Endpoint::Fabric, "{}").unwrap().key();
+        assert_eq!(base, parse(Endpoint::Fabric, r#"{"ks": [4, 4]}"#).unwrap().key());
+        for body in [
+            r#"{"ks": [2, 8]}"#,
+            r#"{"buses": 3}"#,
+            r#"{"uplink": 2}"#,
+            r#"{"locality": 0.3}"#,
+            r#"{"rate": 0.25}"#,
+            r#"{"cycles": 1000}"#,
+            r#"{"seed": 7}"#,
+            r#"{"failed_links": [0]}"#,
+        ] {
+            let key = parse(Endpoint::Fabric, body).unwrap().key();
+            assert_ne!(base, key, "{body} must change the cache key");
+        }
+        // Link-failure order is canonicalized.
+        assert_eq!(
+            parse(Endpoint::Fabric, r#"{"failed_links": [4, 1]}"#).unwrap().key(),
+            parse(Endpoint::Fabric, r#"{"failed_links": [1, 4]}"#).unwrap().key(),
+        );
+        // Fabric keys never collide with a flat endpoint's.
+        assert_ne!(
+            parse(Endpoint::Fabric, "{}").unwrap().key(),
+            parse(Endpoint::Bandwidth, "{}").unwrap().key(),
+        );
     }
 
     #[test]

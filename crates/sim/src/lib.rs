@@ -57,7 +57,7 @@ mod metrics;
 pub mod reference;
 pub mod runner;
 
-pub use config::SimConfig;
+pub use config::{CollectMode, SimConfig};
 pub use engine::{CycleOutcome, Grant, Simulator};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultEventKind, FaultSchedule};

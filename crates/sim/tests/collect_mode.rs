@@ -1,0 +1,94 @@
+//! `CollectMode::Aggregate` must reproduce every aggregate scalar of
+//! `CollectMode::Full` bit for bit while leaving the per-unit vectors
+//! empty — on both the scalar engine and the batched replication path.
+
+use mbus_sim::runner::run_replications_with_workers;
+use mbus_sim::{CollectMode, SimConfig, SimReport, Simulator};
+use mbus_topology::{BusNetwork, ConnectionScheme};
+use mbus_workload::{Fractions, HierarchicalModel, Hierarchy, RequestMatrix, RequestModel};
+
+const RATE: f64 = 0.8;
+
+fn network() -> BusNetwork {
+    BusNetwork::new(16, 16, 6, ConnectionScheme::Full).unwrap()
+}
+
+fn matrix() -> RequestMatrix {
+    let hierarchy = Hierarchy::two_level(16, 4).unwrap();
+    let fractions = Fractions::from_aggregate_shares(&hierarchy, &[0.6, 0.3, 0.1]).unwrap();
+    HierarchicalModel::new(hierarchy, fractions).matrix()
+}
+
+fn config(collect: CollectMode) -> SimConfig {
+    SimConfig::new(4_000)
+        .with_warmup(400)
+        .with_seed(97)
+        .with_collect(collect)
+}
+
+/// Asserts the aggregate side of `aggregate` matches `full` exactly and
+/// its per-unit vectors are empty.
+fn assert_aggregate_matches(full: &SimReport, aggregate: &SimReport) {
+    assert_eq!(aggregate.cycles, full.cycles);
+    assert_eq!(aggregate.bandwidth, full.bandwidth);
+    assert_eq!(aggregate.offered_load, full.offered_load);
+    assert_eq!(aggregate.acceptance, full.acceptance);
+    assert_eq!(aggregate.unreachable_rate, full.unreachable_rate);
+    assert_eq!(aggregate.served_histogram, full.served_histogram);
+    assert_eq!(aggregate.mean_wait, full.mean_wait);
+    assert_eq!(aggregate.max_wait, full.max_wait);
+    assert!(aggregate.bus_utilization.is_empty());
+    assert!(aggregate.bus_alive_cycles.is_empty());
+    assert!(aggregate.memory_service_rates.is_empty());
+    assert!(aggregate.processor_service_rates.is_empty());
+    // Full mode really did collect the breakdowns it claims.
+    assert_eq!(full.bus_utilization.len(), 6);
+    assert_eq!(full.memory_service_rates.len(), 16);
+    assert_eq!(full.processor_service_rates.len(), 16);
+}
+
+#[test]
+fn scalar_engine_aggregate_mode_matches_full() {
+    let net = network();
+    let matrix = matrix();
+    let full = Simulator::build(&net, &matrix, RATE)
+        .unwrap()
+        .run(&config(CollectMode::Full))
+        .unwrap();
+    let aggregate = Simulator::build(&net, &matrix, RATE)
+        .unwrap()
+        .run(&config(CollectMode::Aggregate))
+        .unwrap();
+    assert_aggregate_matches(&full, &aggregate);
+}
+
+#[test]
+fn scalar_engine_aggregate_mode_matches_full_under_resubmission() {
+    let net = network();
+    let matrix = matrix();
+    let full = Simulator::build(&net, &matrix, RATE)
+        .unwrap()
+        .run(&config(CollectMode::Full).with_resubmission(true))
+        .unwrap();
+    let aggregate = Simulator::build(&net, &matrix, RATE)
+        .unwrap()
+        .run(&config(CollectMode::Aggregate).with_resubmission(true))
+        .unwrap();
+    assert_aggregate_matches(&full, &aggregate);
+    assert!(full.mean_wait > 0.0, "resubmission produces waits");
+}
+
+#[test]
+fn batched_replications_aggregate_mode_matches_full() {
+    let net = network();
+    let matrix = matrix();
+    let full = run_replications_with_workers(&net, &matrix, RATE, &config(CollectMode::Full), 4, 1)
+        .unwrap();
+    let aggregate =
+        run_replications_with_workers(&net, &matrix, RATE, &config(CollectMode::Aggregate), 4, 1)
+            .unwrap();
+    assert_eq!(aggregate.reports.len(), full.reports.len());
+    for (full, aggregate) in full.reports.iter().zip(&aggregate.reports) {
+        assert_aggregate_matches(full, aggregate);
+    }
+}

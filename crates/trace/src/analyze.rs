@@ -106,12 +106,14 @@ impl TraceAnalysis {
 ///
 /// # Errors
 ///
-/// Propagates every [`TraceError`] the reader can produce, plus
-/// [`TraceError::Topology`] when the header's network cannot be rebuilt
-/// (needed for the memory→bus wiring the bottleneck ranking uses).
+/// Propagates every [`TraceError`] the reader can produce.
 pub fn analyze<R: Read>(reader: &mut TraceReader<R>) -> Result<TraceAnalysis, TraceError> {
     let header = reader.header().clone();
-    let net = header.network()?;
+    // Fabric traces use the link table as the "bus" axis, and a link
+    // count above M reconstructs into no valid flat `BusNetwork`. The
+    // memory→bus wiring is only needed for blocked-share attribution,
+    // which degrades gracefully to zero without it.
+    let net = header.network().ok();
     let b = header.buses;
     let m = header.memories;
 
@@ -175,18 +177,20 @@ pub fn analyze<R: Read>(reader: &mut TraceReader<R>) -> Result<TraceAnalysis, Tr
     // to it (static topology: a bus failed for part of the run still owns
     // its share — the queue was its to serve).
     let mut blocked_share = vec![0.0f64; b];
-    if header.scheme.kind() != SchemeKind::Crossbar {
-        for (memory, stats) in memories.iter().enumerate() {
-            if stats.blocked == 0 {
-                continue;
-            }
-            let wired: Vec<usize> = net.buses_of_memory(memory).collect();
-            if wired.is_empty() {
-                continue;
-            }
-            let share = stats.blocked as f64 / wired.len() as f64;
-            for bus in wired {
-                blocked_share[bus] += share;
+    if let Some(net) = &net {
+        if header.scheme.kind() != SchemeKind::Crossbar {
+            for (memory, stats) in memories.iter().enumerate() {
+                if stats.blocked == 0 {
+                    continue;
+                }
+                let wired: Vec<usize> = net.buses_of_memory(memory).collect();
+                if wired.is_empty() {
+                    continue;
+                }
+                let share = stats.blocked as f64 / wired.len() as f64;
+                for bus in wired {
+                    blocked_share[bus] += share;
+                }
             }
         }
     }

@@ -47,13 +47,36 @@ impl<W: Write> TraceWriter<W> {
     /// Starts a trace for `net`, writing the header into an internal
     /// buffer (flushed to `sink` as records accumulate).
     pub fn new(sink: W, net: &BusNetwork, resubmission: bool) -> Self {
+        Self::with_dimensions(
+            sink,
+            net.processors(),
+            net.memories(),
+            net.buses(),
+            net.scheme(),
+            resubmission,
+        )
+    }
+
+    /// Starts a trace from raw header dimensions, for producers whose
+    /// "bus" axis is not a flat `BusNetwork` — the fabric simulator
+    /// records per-**link** grants, and its link count may exceed `M`
+    /// (which [`BusNetwork::new`] would reject). Readers of such traces
+    /// fall back gracefully where the rebuilt network would be needed.
+    pub fn with_dimensions(
+        sink: W,
+        processors: usize,
+        memories: usize,
+        buses: usize,
+        scheme: &mbus_topology::ConnectionScheme,
+        resubmission: bool,
+    ) -> Self {
         let mut buf = Vec::with_capacity(2 * FLUSH_THRESHOLD);
         buf.extend_from_slice(&MAGIC);
         put_varint(&mut buf, VERSION);
-        put_varint(&mut buf, net.processors() as u64);
-        put_varint(&mut buf, net.memories() as u64);
-        put_varint(&mut buf, net.buses() as u64);
-        put_scheme(&mut buf, net.scheme());
+        put_varint(&mut buf, processors as u64);
+        put_varint(&mut buf, memories as u64);
+        put_varint(&mut buf, buses as u64);
+        put_scheme(&mut buf, scheme);
         put_varint(&mut buf, if resubmission { FLAG_RESUBMISSION } else { 0 });
         Self {
             sink,

@@ -150,6 +150,51 @@ fn lint_walk_covers_the_trace_crate() {
 }
 
 #[test]
+fn lint_walk_covers_the_fabric_crate() {
+    // The fabric's analytic decomposition is a formula module: R4 must
+    // walk it (its closed forms have to be wired into `stats::prob::check`
+    // invariants), and the whole crate must come through the walk clean.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = workspace_source_files(root).expect("walker");
+    let fabric_files: Vec<&str> = files
+        .iter()
+        .filter(|(path, _)| path.starts_with("crates/fabric/src/"))
+        .map(|(path, _)| path.as_str())
+        .collect();
+    for module in [
+        "crates/fabric/src/topology.rs",
+        "crates/fabric/src/engine.rs",
+        "crates/fabric/src/analytic.rs",
+        "crates/fabric/src/spec.rs",
+    ] {
+        assert!(
+            fabric_files.contains(&module),
+            "lint walk must cover {module}; saw {fabric_files:?}"
+        );
+    }
+    assert!(
+        mbus_lint::rules::FORMULA_MODULES.contains(&"crates/fabric/src/analytic.rs"),
+        "R4 must include the fabric analytic module"
+    );
+    // Zero violations in the fabric crate specifically.
+    let report = lint_workspace(root).expect("workspace sources must be readable");
+    let fabric_violations: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.path.starts_with("crates/fabric/"))
+        .collect();
+    assert!(
+        fabric_violations.is_empty(),
+        "fabric crate must be lint-clean: {fabric_violations:?}"
+    );
+    assert!(
+        report.crates_scanned.iter().any(|c| c == "fabric"),
+        "fabric crate must be scanned; saw {:?}",
+        report.crates_scanned
+    );
+}
+
+#[test]
 fn lint_walk_covers_the_scheduler_and_inventories_its_unsafe() {
     // The work-stealing scheduler is the one module in `mbus-stats` with
     // `unsafe` and lock-free atomics; R5 (SAFETY comments) and R7
